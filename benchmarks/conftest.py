@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper on the
+*smoke-scale* surrogate datasets so the whole suite runs in a few minutes;
+``repro.experiments.configs.figure_config(smoke=False, thread_counts=(16, 32, 44))``
+reproduces the full-scale sweep when more time is available.
+
+Every benchmark writes its rendered rows/series to ``benchmarks/results/``
+so the output can be inspected and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.async_engine.cost_model import CostModel
+from repro.experiments.configs import figure_config
+from repro.experiments.runner import ExperimentRunner
+
+#: Thread counts used by the benchmark sweep (scaled-down analogue of the
+#: paper's {16, 32, 44}).
+BENCH_THREADS = (4, 8, 16)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered benchmark artefact under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    """One shared cost model so all solvers are priced identically."""
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def figure_runner(cost_model) -> ExperimentRunner:
+    """The full (smoke-scale) sweep behind Figures 3, 4 and 5.
+
+    Session-scoped: the sweep is executed once and reused by every
+    figure/headline benchmark.
+    """
+    config = figure_config(smoke=True, thread_counts=BENCH_THREADS, include_svrg_asgd=True)
+    runner = ExperimentRunner(config, cost_model=cost_model)
+    runner.run()
+    return runner

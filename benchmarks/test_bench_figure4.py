@@ -1,0 +1,81 @@
+"""Benchmark: regenerate Figure 4 (absolute convergence, wall-clock x-axis).
+
+Paper reference (Figure 4 a-d): RMSE / error-rate versus wall-clock seconds
+with the optimum-to-optimum markers (the red circle = ASGD's best error
+rate, the blue dot = when IS-ASGD reaches that same value).  Wall-clock here
+is the calibrated simulated time of the cost model (see DESIGN.md §5); the
+*shape* claims checked are:
+
+* IS-ASGD reaches ASGD's optimum at least as fast (speedup >= ~1, paper
+  reports 1.13-1.54x);
+* SVRG-ASGD, despite its per-epoch advantage, needs far longer wall-clock
+  than IS-ASGD on sparse data (the News20 panel of Fig. 4a already shows
+  this, and the effect grows with dimensionality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.figures import figure4_data
+from repro.experiments.report import render_figure_summary
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bench_figure4_panels(benchmark, figure_runner):
+    """Build the Figure-4 panels, print the optimum markers and verify the shape."""
+    panels = benchmark.pedantic(lambda: figure4_data(figure_runner), rounds=1, iterations=1)
+    text = render_figure_summary(panels)
+    print("\n" + text)
+    write_result("figure4.txt", text)
+
+    speedups = []
+    for panel in panels:
+        if "optimum_speedup" in panel.annotations:
+            speedups.append(panel.annotations["optimum_speedup"])
+    assert speedups, "at least some panels must yield an optimum-speedup marker"
+    # IS-ASGD reaches ASGD's optimum at least about as fast, typically faster.
+    assert float(np.median(speedups)) >= 0.9
+    assert max(speedups) > 1.0
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bench_figure4_svrg_wall_clock_penalty(benchmark, figure_runner):
+    """SVRG-ASGD's wall-clock per epoch dwarfs IS-ASGD's (Fig. 4a / Section 1.2)."""
+
+    def per_epoch_costs():
+        out = []
+        for panel in figure4_data(figure_runner):
+            if "svrg_asgd" not in panel.curves:
+                continue
+            svrg = panel.curves["svrg_asgd"]
+            is_asgd = panel.curves["is_asgd"]
+            out.append(
+                (svrg.total_time / len(svrg), is_asgd.total_time / len(is_asgd))
+            )
+        return out
+
+    costs = benchmark.pedantic(per_epoch_costs, rounds=1, iterations=1)
+    assert costs
+    for svrg_cost, is_cost in costs:
+        assert svrg_cost > 5.0 * is_cost
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bench_figure4_wall_clock_shrinks_with_concurrency(benchmark, figure_runner):
+    """More workers means less wall-clock per epoch for the lock-free solvers."""
+
+    def total_times():
+        out = {}
+        for panel in figure4_data(figure_runner):
+            out[(panel.dataset, panel.num_workers)] = panel.curves["is_asgd"].total_time
+        return out
+
+    times = benchmark.pedantic(total_times, rounds=1, iterations=1)
+    datasets = {d for d, _ in times}
+    for dataset in datasets:
+        workers = sorted(w for d, w in times if d == dataset)
+        series = [times[(dataset, w)] for w in workers]
+        assert series[-1] < series[0]

@@ -1,0 +1,83 @@
+"""Benchmark: regenerate Figure 5 (error-rate -> speedup slices).
+
+Paper reference (Figure 5 a-d): for every dataset and concurrency, the
+speedup of IS-ASGD over ASGD and over serial SGD at each error-rate target
+(values linearly interpolated between recorded epochs).  The shape claims
+checked here:
+
+* the average speedup of IS-ASGD over ASGD is around or above 1 (the paper
+  reports 1.26-1.97x averages);
+* the raw computational speedup over serial SGD is several-fold and grows
+  with the worker count (the paper reports 6.4-12.3x at 16 threads and
+  11.9-23.5x at 44 threads on real hardware; the simulated engine uses
+  4/8/16 workers so the absolute values are smaller but the monotone trend
+  must hold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.figures import figure5_data
+from repro.experiments.report import render_speedup_slices
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_bench_figure5_slices(benchmark, figure_runner):
+    """Build every Figure-5 slice and verify the over-ASGD speedup band."""
+    slices = benchmark.pedantic(lambda: figure5_data(figure_runner), rounds=1, iterations=1)
+    text = render_speedup_slices(slices)
+    print("\n" + text)
+    write_result("figure5.txt", text)
+
+    over_asgd = [s.mean_speedup for s in slices if s.baseline == "asgd" and s.mean_speedup]
+    assert over_asgd, "expected IS-ASGD vs ASGD slices"
+    # On average IS-ASGD should not lose to ASGD, and should win somewhere.
+    assert float(np.median(over_asgd)) >= 0.9
+    assert max(over_asgd) > 1.0
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_bench_figure5_raw_speedup_grows_with_workers(benchmark, figure_runner):
+    """The over-SGD (raw computational) speedup increases with concurrency."""
+
+    def speedups_by_worker():
+        out = {}
+        for sl in figure5_data(figure_runner):
+            if sl.baseline != "sgd" or sl.mean_speedup is None:
+                continue
+            out.setdefault(sl.num_workers, []).append(sl.mean_speedup)
+        return {w: float(np.mean(v)) for w, v in out.items()}
+
+    by_worker = benchmark.pedantic(speedups_by_worker, rounds=1, iterations=1)
+    print("\nmean raw speedup over SGD by worker count:", by_worker)
+    workers = sorted(by_worker)
+    assert len(workers) >= 2
+    assert by_worker[workers[-1]] > by_worker[workers[0]]
+    # At the largest worker count the speedup must be clearly super-unity.
+    assert by_worker[workers[-1]] > 1.5
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_bench_figure5_speedup_largest_on_large_sparse_datasets(benchmark, figure_runner):
+    """Section 4.2: IS-ASGD's acceleration is most pronounced on the large,
+    low-ψ (KDD-like) datasets."""
+
+    def mean_by_dataset():
+        out = {}
+        for sl in figure5_data(figure_runner):
+            if sl.baseline != "asgd" or sl.mean_speedup is None:
+                continue
+            out.setdefault(sl.dataset, []).append(sl.mean_speedup)
+        return {k: float(np.mean(v)) for k, v in out.items()}
+
+    means = benchmark.pedantic(mean_by_dataset, rounds=1, iterations=1)
+    print("\nmean IS-ASGD/ASGD speedup per dataset:", means)
+    write_result("figure5_speedup_by_dataset.txt", str(means))
+    kdd = 0.5 * (means.get("kdd_algebra_smoke", 0) + means.get("kdd_bridge_smoke", 0))
+    # At smoke scale the per-dataset ordering is noisy; require only that the
+    # low-psi datasets stay in the same band as the high-psi one.
+    assert kdd >= means.get("news20_smoke", 0.0) - 0.4
+    assert max(means.values()) > 1.0

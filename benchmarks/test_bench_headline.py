@@ -1,0 +1,42 @@
+"""Benchmark: the Section-4.2 headline numbers.
+
+Paper reference (Section 4.2): optimum speedups of IS-ASGD over ASGD range
+1.13-1.54x, average speedups 1.26-1.97x, raw speedups over SGD 6.4-23.5x
+(16-44 threads), and the IS sampling overhead is 1.1-7.7 %.  This benchmark
+aggregates the same quantities from the smoke-scale sweep and records both
+the measured and the paper values side by side for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.figures import headline_numbers
+
+
+@pytest.mark.benchmark(group="headline")
+def test_bench_headline_numbers(benchmark, figure_runner):
+    """Aggregate the headline speedup/overhead numbers and sanity-check them."""
+    numbers = benchmark.pedantic(lambda: headline_numbers(figure_runner), rounds=1, iterations=1)
+    text = json.dumps(numbers, indent=2, default=float)
+    print("\n" + text)
+    write_result("headline.json", text)
+
+    optimum = numbers["optimum_speedup_over_asgd"]
+    average = numbers["average_speedup_over_asgd"]
+    raw = numbers["raw_speedup_over_sgd"]
+    overhead = numbers["is_sampling_overhead"]
+
+    assert optimum is not None and average is not None and raw is not None
+    # IS-ASGD reaches ASGD's optimum at least about as fast somewhere, and on
+    # average does not lose.
+    assert optimum["max"] >= 1.0
+    assert average["mean"] >= 0.9
+    # Raw computational speedup over serial SGD is clearly super-unity.
+    assert raw["max"] > 1.5
+    # The sampling overhead stays a small fraction (paper: 1.1-7.7 %).
+    assert overhead is not None
+    assert 0.0 <= overhead["max"] <= 0.30

@@ -1,0 +1,92 @@
+"""Benchmark: the Figure-1 argument (sparse vs dense per-iteration cost).
+
+Paper reference (Figure 1 and Section 1.2): an index-compressed stochastic
+gradient touches ~``nnz`` coordinates while SVRG's variance-reduced gradient
+requires a dense full-length (``d``) vector add every iteration, so for
+sparsity around 1e-5..1e-7 the per-iteration cost ratio is 10^3-10^6.  This
+benchmark measures the *real* NumPy kernels (not the cost model) and checks
+that the measured ratio grows with the dimensionality, and that the
+calibrated cost model agrees with the measurement on ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.async_engine.cost_model import CostModel
+from repro.experiments.report import format_table
+
+
+def _sparse_update(w, idx, val, scale):
+    np.add.at(w, idx, scale * val)
+
+
+def _dense_update(w, mu, scale):
+    w -= scale * mu
+
+
+@pytest.mark.benchmark(group="figure1")
+@pytest.mark.parametrize("dim", [10_000, 100_000, 1_000_000])
+def test_bench_sparse_update_kernel(benchmark, dim):
+    """Time the index-compressed update at a fixed nnz (paper's sparse path)."""
+    rng = np.random.default_rng(0)
+    w = np.zeros(dim)
+    idx = rng.choice(dim, size=32, replace=False)
+    val = rng.normal(size=32)
+    benchmark(_sparse_update, w, idx, val, -0.1)
+
+
+@pytest.mark.benchmark(group="figure1")
+@pytest.mark.parametrize("dim", [10_000, 100_000, 1_000_000])
+def test_bench_dense_update_kernel(benchmark, dim):
+    """Time the dense full-length update (SVRG's µ add)."""
+    rng = np.random.default_rng(0)
+    w = np.zeros(dim)
+    mu = rng.normal(size=dim)
+    benchmark(_dense_update, w, mu, 0.1)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_figure1_cost_ratio(benchmark):
+    """Measured dense/sparse cost ratio grows with d and the cost model agrees."""
+    from repro.utils.timer import measure_call
+
+    def measure():
+        rng = np.random.default_rng(0)
+        rows = []
+        nnz = 32
+        for dim in (10_000, 100_000, 1_000_000):
+            w = np.zeros(dim)
+            idx = rng.choice(dim, size=nnz, replace=False)
+            val = rng.normal(size=nnz)
+            mu = rng.normal(size=dim)
+            sparse_t = measure_call(lambda: _sparse_update(w, idx, val, -0.1), repeats=5)
+            dense_t = measure_call(lambda: _dense_update(w, mu, 0.1), repeats=5)
+            model_ratio = CostModel().sparse_dense_cost_ratio(nnz, dim)
+            rows.append(
+                {
+                    "dim": dim,
+                    "nnz": nnz,
+                    "sparse_us": sparse_t * 1e6,
+                    "dense_us": dense_t * 1e6,
+                    "measured_ratio": dense_t / sparse_t,
+                    "cost_model_ratio": model_ratio,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(rows, title="Figure 1: sparse vs dense per-iteration cost")
+    print("\n" + text)
+    write_result("figure1_iteration_cost.txt", text)
+
+    ratios = [r["measured_ratio"] for r in rows]
+    # The dense/sparse gap must grow monotonically with the dimensionality...
+    assert ratios[0] < ratios[1] < ratios[2]
+    # ...and be large (orders of magnitude) at 1M dimensions.
+    assert ratios[-1] > 50.0
+    # The cost model must agree on the trend.
+    model_ratios = [r["cost_model_ratio"] for r in rows]
+    assert model_ratios[0] < model_ratios[1] < model_ratios[2]

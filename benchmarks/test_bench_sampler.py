@@ -1,0 +1,97 @@
+"""Benchmark: sampler ablations.
+
+Paper reference (Sections 2.2 and 4.2): IS needs a weighted sampler to
+pre-generate the per-worker sample sequences; the paper notes the sampling
+cost is negligible relative to training and that regenerating the sequence
+every epoch can be replaced by a cheap shuffle with no practical loss.  The
+benchmarks here quantify both statements:
+
+* alias-method vs inverse-CDF sampler throughput (construction + draws);
+* sequence regeneration vs permute-only refresh, both in raw cost and in
+  the resulting convergence quality of IS-ASGD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.importance import lipschitz_probabilities
+from repro.core.sampler import AliasSampler, InverseCDFSampler, SampleSequence
+from repro.core.config import ISASGDConfig
+from repro.core.is_asgd import ISASGDSolver
+from repro.datasets.loader import load_dataset
+from repro.experiments.report import format_table
+from repro.objectives.logistic import LogisticObjective
+from repro.solvers.base import Problem
+
+
+@pytest.fixture(scope="module")
+def skewed_probabilities():
+    rng = np.random.default_rng(0)
+    return lipschitz_probabilities(np.exp(rng.normal(0.0, 1.0, size=50_000)))
+
+
+@pytest.mark.benchmark(group="sampler")
+def test_bench_alias_sampler_draws(benchmark, skewed_probabilities):
+    """Alias sampler: O(1) per draw regardless of n."""
+    sampler = AliasSampler(skewed_probabilities, seed=0)
+    benchmark(sampler.sample, 10_000)
+
+
+@pytest.mark.benchmark(group="sampler")
+def test_bench_inverse_cdf_sampler_draws(benchmark, skewed_probabilities):
+    """Inverse-CDF sampler: O(log n) per draw — the ablation baseline."""
+    sampler = InverseCDFSampler(skewed_probabilities, seed=0)
+    benchmark(sampler.sample, 10_000)
+
+
+@pytest.mark.benchmark(group="sampler")
+def test_bench_alias_construction(benchmark, skewed_probabilities):
+    """Alias-table construction cost (paid once per worker per run)."""
+    benchmark.pedantic(lambda: AliasSampler(skewed_probabilities, seed=0), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="sampler")
+def test_bench_sequence_regenerate_vs_shuffle(benchmark, skewed_probabilities):
+    """Cost of regenerating a sequence vs merely permuting it (Section 4.2)."""
+
+    def compare():
+        seq = SampleSequence.generate(skewed_probabilities, 50_000, seed=0)
+        from repro.utils.timer import measure_call
+
+        regen = measure_call(
+            lambda: SampleSequence.generate(skewed_probabilities, 50_000, seed=1), repeats=3
+        )
+        shuffle = measure_call(lambda: seq.reshuffled(seed=1), repeats=3)
+        return {"regenerate_s": regen, "shuffle_s": shuffle, "ratio": regen / shuffle}
+
+    result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    text = format_table([result], title="Sequence refresh: regenerate vs shuffle")
+    print("\n" + text)
+    write_result("sampler_refresh.txt", text)
+    # Both are cheap; the exact ratio is hardware-dependent, so only sanity-check.
+    assert result["regenerate_s"] > 0 and result["shuffle_s"] > 0
+
+
+@pytest.mark.benchmark(group="sampler")
+def test_bench_refresh_policy_convergence_equivalence(benchmark, cost_model):
+    """The permute-only refresh matches regeneration in convergence quality."""
+
+    def run():
+        ds = load_dataset("url_smoke", seed=0)
+        problem = Problem(X=ds.X, y=ds.y, objective=LogisticObjective.l1_regularized(1e-4),
+                          name="url_smoke")
+        out = {}
+        for regen in (True, False):
+            cfg = ISASGDConfig(step_size=0.05, epochs=6, num_workers=8, seed=0,
+                               reshuffle_sequences=regen)
+            result = ISASGDSolver(cfg, cost_model=cost_model).fit(problem)
+            out["regenerate" if regen else "shuffle"] = result.final_rmse
+        return out
+
+    rmse = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nfinal RMSE by sequence-refresh policy:", rmse)
+    write_result("sampler_refresh_convergence.txt", str(rmse))
+    assert abs(rmse["regenerate"] - rmse["shuffle"]) < 0.1

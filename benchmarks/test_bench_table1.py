@@ -1,0 +1,61 @@
+"""Benchmark: regenerate Table 1 (dataset statistics).
+
+Paper reference (Table 1): per-dataset dimension, instance count, gradient
+sparsity, ψ and ρ.  The regenerated rows report the surrogate values next to
+the paper's values; the orderings (news20 densest / highest ψ, the KDD
+datasets sparsest / lowest ψ) must match even though the absolute scale is
+reduced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.report import format_table
+from repro.experiments.tables import table1_rows
+
+SMOKE_DATASETS = ["news20_smoke", "url_smoke", "kdd_algebra_smoke", "kdd_bridge_smoke"]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_rows(benchmark):
+    """Time the Table-1 statistics computation and check the orderings."""
+    rows = benchmark.pedantic(
+        lambda: table1_rows(SMOKE_DATASETS, seed=0, include_conflict_degree=True),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        rows,
+        columns=[
+            "Name", "Dimension", "Instances", "GradSparsity", "psi", "rho",
+            "avg_conflict_degree", "paper_dimension", "paper_instances",
+            "paper_grad_sparsity", "paper_psi", "paper_rho", "Source",
+        ],
+        title="Table 1 (surrogate vs paper)",
+    )
+    print("\n" + text)
+    write_result("table1.txt", text)
+
+    by_name = {r["Name"]: r for r in rows}
+    # Shape checks mirroring the paper's Table 1 orderings.
+    assert by_name["news20_smoke"]["GradSparsity"] > by_name["kdd_algebra_smoke"]["GradSparsity"]
+    assert by_name["news20_smoke"]["GradSparsity"] > by_name["kdd_bridge_smoke"]["GradSparsity"]
+    assert by_name["kdd_bridge_smoke"]["psi"] < by_name["news20_smoke"]["psi"]
+    assert by_name["kdd_algebra_smoke"]["psi"] < by_name["url_smoke"]["psi"]
+    for row in rows:
+        assert 0.0 < row["psi"] <= 1.0
+        assert row["rho"] >= 0.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_full_scale_statistics(benchmark):
+    """Statistics of one full-scale surrogate (kdd_algebra) — heavier, run once."""
+    rows = benchmark.pedantic(
+        lambda: table1_rows(["kdd_algebra"], seed=0), rounds=1, iterations=1
+    )
+    row = rows[0]
+    print("\n" + format_table(rows, title="Table 1, full-scale kdd_algebra surrogate"))
+    assert row["GradSparsity"] < 1e-3
+    assert row["psi"] < 0.99

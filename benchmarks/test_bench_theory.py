@@ -1,0 +1,123 @@
+"""Benchmark: the convergence-bound comparison (Eq. 13, 14, 15, 26, 27).
+
+Paper reference (Sections 2.2 and 3): importance sampling improves the SGD
+convergence bound by a factor governed by ψ (Eq. 15), and IS-ASGD inherits
+that bound up to an order-wise constant as long as the delay τ respects
+Eq. 27.  This benchmark evaluates the bounds on every surrogate dataset and
+checks the predicted ordering: lower ψ ⇒ larger predicted IS improvement,
+and the measured IS-vs-uniform gradient-variance ratio tracks the
+prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.importance import lipschitz_probabilities
+from repro.datasets.loader import load_dataset
+from repro.experiments.report import format_table
+from repro.graph.conflict import conflict_graph_stats
+from repro.objectives.logistic import LogisticObjective
+from repro.theory.bounds import compare_bounds
+from repro.theory.variance import gradient_variance, importance_sampling_variance
+
+SMOKE_DATASETS = ["news20_smoke", "url_smoke", "kdd_algebra_smoke", "kdd_bridge_smoke"]
+
+
+@pytest.mark.benchmark(group="theory")
+def test_bench_bound_comparison_per_dataset(benchmark):
+    """Evaluate Eq. 13/14/15/26/27 on every surrogate dataset."""
+
+    def compute():
+        objective = LogisticObjective.l1_regularized(1e-4)
+        rows = []
+        for name in SMOKE_DATASETS:
+            ds = load_dataset(name, seed=0)
+            L = objective.lipschitz_constants(ds.X, ds.y)
+            degree = conflict_graph_stats(ds.X, exact_threshold=0, sample_size=100,
+                                          seed=0).average_degree
+            cmp = compare_bounds(L, average_conflict_degree=max(degree, 1e-9))
+            rows.append(
+                {
+                    "dataset": name,
+                    "psi": cmp.psi,
+                    "uniform_bound": cmp.uniform_bound,
+                    "is_bound": cmp.is_bound,
+                    "bound_ratio": cmp.bound_ratio,
+                    "tau_limit": cmp.tau_limit,
+                    "avg_conflict_degree": degree,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_table(rows, title="Eq. 13/14/15/27: predicted IS improvement per dataset")
+    print("\n" + text)
+    write_result("theory_bounds.txt", text)
+
+    by_name = {r["dataset"]: r for r in rows}
+    for row in rows:
+        # Cauchy-Schwarz: the IS bound never exceeds the uniform bound.
+        assert row["is_bound"] <= row["uniform_bound"] * (1 + 1e-9)
+        assert 0.0 < row["psi"] <= 1.0
+        assert row["tau_limit"] > 0.0
+    # Lower psi (KDD surrogates) -> larger predicted improvement (smaller ratio).
+    assert by_name["kdd_bridge_smoke"]["bound_ratio"] < by_name["news20_smoke"]["bound_ratio"]
+
+
+@pytest.mark.benchmark(group="theory")
+def test_bench_variance_reduction_matches_prediction(benchmark):
+    """Measured gradient variance under uniform / Eq.-12 / Eq.-11 sampling.
+
+    Eq. 11's gradient-norm-proportional distribution minimises the exact
+    variance by construction; the practical Eq.-12 (Lipschitz) distribution
+    only optimises a *bound*, so it sits between the optimum and uniform on
+    well-behaved data and can even slightly exceed uniform when the Lipschitz
+    constants over-weight heavy samples — the benchmark records all three so
+    the gap is visible.
+    """
+
+    def compute():
+        from repro.core.importance import optimal_probabilities
+        from repro.theory.variance import optimal_variance
+
+        objective = LogisticObjective()
+        rows = []
+        rng = np.random.default_rng(0)
+        for name in ("news20_smoke", "kdd_bridge_smoke"):
+            ds = load_dataset(name, seed=0)
+            # Subsample rows to keep the dense per-sample gradient matrix small.
+            take = np.arange(0, ds.n_samples, max(1, ds.n_samples // 150))
+            X, y = ds.X.take_rows(take), ds.y[take]
+            w = 0.05 * rng.normal(size=ds.n_features)
+            L = objective.lipschitz_constants(X, y)
+            p_lip = lipschitz_probabilities(L)
+            var_uniform = gradient_variance(objective, w, X, y)
+            var_lip = importance_sampling_variance(objective, w, X, y, p_lip)
+            var_opt = optimal_variance(objective, w, X, y)
+            rows.append(
+                {
+                    "dataset": name,
+                    "uniform_variance": var_uniform,
+                    "lipschitz_is_variance": var_lip,
+                    "optimal_is_variance": var_opt,
+                    "lipschitz_ratio": var_lip / var_uniform if var_uniform else 1.0,
+                    "optimal_ratio": var_opt / var_uniform if var_uniform else 1.0,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_table(rows, title="Measured gradient-variance under each sampling scheme (Eq. 10)")
+    print("\n" + text)
+    write_result("theory_variance.txt", text)
+
+    for row in rows:
+        # The Eq.-11 optimum is a genuine lower bound on both other schemes.
+        assert row["optimal_is_variance"] <= row["uniform_variance"] * (1 + 1e-9)
+        assert row["optimal_is_variance"] <= row["lipschitz_is_variance"] * (1 + 1e-9)
+        # The practical Eq.-12 scheme stays within a small factor of uniform
+        # even in the adversarial heavy-tailed case.
+        assert row["lipschitz_ratio"] <= 1.15

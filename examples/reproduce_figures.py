@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Reproduce every figure and table of the paper's evaluation in one run.
+
+This drives the same experiment harness the benchmarks use and writes the
+rendered outputs (Table 1, Figure 3/4/5 series, headline speedups) to a
+results directory.  By default the smoke-scale surrogates and reduced thread
+counts are used so the full sweep finishes in minutes; pass ``--full`` for
+the full-scale surrogates and the paper's thread counts {16, 32, 44}.
+
+Run with::
+
+    python examples/reproduce_figures.py [--full] [--out results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.async_engine.cost_model import CostModel
+from repro.experiments.configs import PAPER_THREAD_COUNTS, figure_config
+from repro.experiments.figures import figure3_data, figure4_data, figure5_data, headline_numbers
+from repro.experiments.report import (
+    format_table,
+    render_curve_rows,
+    render_figure_summary,
+    render_speedup_slices,
+    rows_to_csv,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import table1_rows
+from repro.utils.logging import enable_console_logging
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="full-scale surrogates and the paper's thread counts (much slower)")
+    parser.add_argument("--threads", type=int, nargs="+", default=None)
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--calibrate-cost-model", action="store_true",
+                        help="measure per-op costs on this machine instead of using defaults")
+    args = parser.parse_args()
+
+    enable_console_logging()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    threads = tuple(args.threads) if args.threads else (
+        PAPER_THREAD_COUNTS if args.full else (4, 8, 16)
+    )
+    cost_model = CostModel.calibrated() if args.calibrate_cost_model else CostModel()
+
+    # ---------------------------------------------------------------- Table 1
+    smoke = not args.full
+    names = [f"{n}_smoke" for n in ("news20", "url", "kdd_algebra", "kdd_bridge")] if smoke else None
+    table1 = table1_rows(names, seed=args.seed)
+    (out / "table1.txt").write_text(format_table(table1, title="Table 1") + "\n")
+    (out / "table1.csv").write_text(rows_to_csv(table1))
+    print(f"Table 1 written to {out / 'table1.txt'}")
+
+    # ------------------------------------------------------------ Figures 3-5
+    config = figure_config(smoke=smoke, thread_counts=threads, seed=args.seed)
+    print(f"running {len(config.runs)} training runs "
+          f"({'full' if args.full else 'smoke'} scale, threads={threads}) ...")
+    runner = ExperimentRunner(config, cost_model=cost_model)
+    runner.run()
+
+    panels3 = figure3_data(runner)
+    (out / "figure3.txt").write_text(render_figure_summary(panels3) + "\n")
+    curve_rows = []
+    for panel in panels3:
+        for solver, curve in panel.curves.items():
+            for row in render_curve_rows(curve, label=f"{panel.dataset}/{solver}/T{panel.num_workers}"):
+                curve_rows.append(row)
+    (out / "figure3_curves.csv").write_text(rows_to_csv(curve_rows))
+
+    panels4 = figure4_data(runner)
+    (out / "figure4.txt").write_text(render_figure_summary(panels4) + "\n")
+
+    slices = figure5_data(runner)
+    (out / "figure5.txt").write_text(render_speedup_slices(slices) + "\n")
+
+    headline = headline_numbers(runner)
+    (out / "headline.json").write_text(json.dumps(headline, indent=2, default=float))
+
+    print(render_figure_summary(panels4))
+    print(render_speedup_slices(slices))
+    print(json.dumps(headline, indent=2, default=float))
+    print(f"\nAll outputs written under {out.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Present only so that ``pip install -e . --no-use-pep517`` works on
+environments without the ``wheel`` package (offline machines); all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

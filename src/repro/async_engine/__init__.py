@@ -1,0 +1,53 @@
+"""Asynchronous execution substrate.
+
+CPython's GIL makes genuine lock-free numeric threads impossible, so the
+library reproduces asynchrony at two levels:
+
+* :mod:`repro.async_engine.simulator` — a deterministic perturbed-iterate
+  simulator: workers interleave their iterations, every read may be stale by
+  up to ``τ`` updates (exactly the model the paper's Section 3 analysis
+  uses), and per-coordinate conflicts are accounted explicitly.  All the
+  figures are produced on this engine.
+* :mod:`repro.async_engine.threads` — a real ``threading``-based Hogwild
+  backend over a shared NumPy buffer, used to validate that the algorithms
+  are genuinely lock-free-safe (it produces correct models, just without
+  hardware speedup).
+
+:mod:`repro.async_engine.cost_model` converts execution traces (counts of
+sparse/dense operations and conflicts) into simulated wall-clock seconds,
+which is how the absolute-convergence experiments (Figures 4-5) are
+regenerated.
+"""
+
+from repro.async_engine.shared_model import SharedModel, UpdateRecord
+from repro.async_engine.staleness import (
+    ConstantDelay,
+    GeometricDelay,
+    StalenessModel,
+    UniformDelay,
+    make_staleness_model,
+)
+from repro.async_engine.worker import SimulatedWorker
+from repro.async_engine.events import EpochEvent, IterationEvent
+from repro.async_engine.simulator import AsyncSimulator, SimulationResult
+from repro.async_engine.threads import HogwildThreadPool, run_hogwild_threads
+from repro.async_engine.cost_model import CostModel, CostParameters
+
+__all__ = [
+    "SharedModel",
+    "UpdateRecord",
+    "StalenessModel",
+    "UniformDelay",
+    "ConstantDelay",
+    "GeometricDelay",
+    "make_staleness_model",
+    "SimulatedWorker",
+    "EpochEvent",
+    "IterationEvent",
+    "AsyncSimulator",
+    "SimulationResult",
+    "HogwildThreadPool",
+    "run_hogwild_threads",
+    "CostModel",
+    "CostParameters",
+]

@@ -1,0 +1,107 @@
+"""Event records emitted by the asynchronous simulator.
+
+The simulator aggregates per-iteration information into per-epoch
+:class:`EpochEvent` records; the cost model consumes those to produce the
+simulated wall-clock, and the metrics module turns them into convergence
+curves.  Individual :class:`IterationEvent` objects are only materialised
+when the caller asks for full tracing (they are too heavy for the large
+benchmark runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class IterationEvent:
+    """One simulated iteration (only recorded when full tracing is enabled)."""
+
+    global_step: int
+    worker_id: int
+    sample_index: int
+    delay: int
+    conflicts: int
+    grad_nnz: int
+    step_scale: float
+
+
+@dataclass
+class EpochEvent:
+    """Aggregate record of one epoch of simulated execution."""
+
+    epoch: int
+    iterations: int = 0
+    sparse_coordinate_updates: int = 0
+    dense_coordinate_updates: int = 0
+    conflicts: int = 0
+    stale_reads: int = 0
+    sample_draws: int = 0
+    max_observed_delay: int = 0
+
+    def merge_iteration(
+        self,
+        *,
+        grad_nnz: int,
+        dense_coords: int,
+        conflicts: int,
+        delay: int,
+        drew_sample: bool = True,
+    ) -> None:
+        """Fold one iteration's counters into the epoch aggregate."""
+        self.iterations += 1
+        self.sparse_coordinate_updates += int(grad_nnz)
+        self.dense_coordinate_updates += int(dense_coords)
+        self.conflicts += int(conflicts)
+        if delay > 0:
+            self.stale_reads += 1
+        if drew_sample:
+            self.sample_draws += 1
+        if delay > self.max_observed_delay:
+            self.max_observed_delay = int(delay)
+
+    @property
+    def conflict_rate(self) -> float:
+        """Conflicts per iteration within the epoch."""
+        return self.conflicts / self.iterations if self.iterations else 0.0
+
+
+@dataclass
+class ExecutionTrace:
+    """The complete per-epoch trace of one training run."""
+
+    epochs: List[EpochEvent] = field(default_factory=list)
+    iterations: Optional[List[IterationEvent]] = None
+
+    def add_epoch(self, event: EpochEvent) -> None:
+        """Append an epoch record."""
+        self.epochs.append(event)
+
+    @property
+    def total_iterations(self) -> int:
+        """Total iterations across all epochs."""
+        return int(sum(e.iterations for e in self.epochs))
+
+    @property
+    def total_conflicts(self) -> int:
+        """Total conflicts across all epochs."""
+        return int(sum(e.conflicts for e in self.epochs))
+
+    @property
+    def total_sparse_coordinate_updates(self) -> int:
+        """Total sparse coordinate writes across all epochs."""
+        return int(sum(e.sparse_coordinate_updates for e in self.epochs))
+
+    @property
+    def total_dense_coordinate_updates(self) -> int:
+        """Total dense coordinate writes across all epochs."""
+        return int(sum(e.dense_coordinate_updates for e in self.epochs))
+
+    def conflict_rate(self) -> float:
+        """Overall conflicts per iteration."""
+        total = self.total_iterations
+        return self.total_conflicts / total if total else 0.0
+
+
+__all__ = ["IterationEvent", "EpochEvent", "ExecutionTrace"]

@@ -1,0 +1,216 @@
+"""The perturbed-iterate asynchronous execution simulator.
+
+The simulator interleaves the iterations of ``num_workers`` simulated
+workers against one :class:`~repro.async_engine.shared_model.SharedModel`.
+Each iteration:
+
+1. the scheduler picks the next worker (randomised round-robin);
+2. the worker provides its next sample and importance re-weighting factor;
+3. the worker *reads* the model coordinates on the sample's support with a
+   random staleness drawn from the staleness model — this is the perturbed
+   iterate ``ŵ_t = w_t + θ_t`` of Section 3.1;
+4. the update rule computes the index-compressed (plus optionally dense)
+   update from the stale view;
+5. the update is applied atomically to the shared model and the conflict /
+   operation counters are folded into the epoch trace.
+
+The simulator is solver-agnostic: ASGD, IS-ASGD and SVRG-ASGD all plug in
+through the :class:`UpdateRule` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.async_engine.events import EpochEvent, ExecutionTrace, IterationEvent
+from repro.async_engine.shared_model import SharedModel
+from repro.async_engine.staleness import StalenessModel, UniformDelay
+from repro.async_engine.worker import SimulatedWorker
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import RandomState, as_rng
+
+
+class UpdateRule(Protocol):
+    """Computes one model update from a (possibly stale) coordinate view."""
+
+    def compute_update(
+        self,
+        stale_coords: np.ndarray,
+        x_idx: np.ndarray,
+        x_val: np.ndarray,
+        y: float,
+        step_weight: float,
+    ) -> Tuple[np.ndarray, int]:
+        """Return ``(delta_values, dense_coordinate_count)``.
+
+        ``delta_values`` are the additive changes for the coordinates
+        ``x_idx`` (already scaled by the step size and importance weight);
+        ``dense_coordinate_count`` is the number of *additional* dense
+        coordinates the real algorithm would have touched this iteration
+        (zero for SGD-style updates, ``d`` for SVRG-style updates) — it
+        feeds the cost model but is not applied to the simulated model
+        unless the rule also implements ``dense_update``.
+        """
+        ...
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of :meth:`AsyncSimulator.run`."""
+
+    weights: np.ndarray
+    trace: ExecutionTrace
+    epoch_weights: Optional[List[np.ndarray]] = None
+
+
+@dataclass
+class AsyncSimulator:
+    """Simulated lock-free execution of asynchronous SGD-style solvers.
+
+    Parameters
+    ----------
+    X, y:
+        The full design matrix and labels (workers index into them by
+        global row index).
+    workers:
+        The simulated workers (shards + sequences), one per thread.
+    update_rule:
+        The solver-specific update computation.
+    staleness:
+        Delay model; defaults to ``UniformDelay(num_workers)``.
+    seed:
+        Seed for the scheduler interleaving and delay draws.
+    record_iterations:
+        Keep per-iteration events (memory-heavy; tests only).
+    epoch_callback:
+        Optional callable invoked after every epoch with
+        ``(epoch_index, model_snapshot)`` — used by solvers to record
+        convergence metrics without re-implementing the loop.
+    """
+
+    X: CSRMatrix
+    y: np.ndarray
+    workers: List[SimulatedWorker]
+    update_rule: UpdateRule
+    staleness: Optional[StalenessModel] = None
+    seed: RandomState = 0
+    record_iterations: bool = False
+    epoch_callback: Optional[Callable[[int, np.ndarray], None]] = None
+    dense_rule_applies_full_vector: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ValueError("at least one worker is required")
+        if self.y.shape[0] != self.X.n_rows:
+            raise ValueError("X and y row counts differ")
+        self._rng = as_rng(self.seed)
+        if self.staleness is None:
+            self.staleness = UniformDelay(max(len(self.workers) - 1, 0))
+
+    @property
+    def num_workers(self) -> int:
+        """Number of simulated workers."""
+        return len(self.workers)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        epochs: int,
+        *,
+        initial_weights: Optional[np.ndarray] = None,
+        reshuffle: bool = True,
+        regenerate: bool = False,
+        keep_epoch_weights: bool = False,
+    ) -> SimulationResult:
+        """Simulate ``epochs`` passes of asynchronous execution.
+
+        Parameters
+        ----------
+        epochs:
+            Number of epochs; every epoch each worker consumes its full
+            sample sequence.
+        initial_weights:
+            Starting model (zeros by default).
+        reshuffle / regenerate:
+            Per-epoch sequence refresh policy forwarded to the workers.
+        keep_epoch_weights:
+            Store a snapshot of the model after every epoch in the result.
+        """
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        history = max(self.staleness.max_delay, 1) * max(self.num_workers, 1)
+        model = SharedModel(self.X.n_cols, history=min(history, 4096), initial=initial_weights)
+
+        trace = ExecutionTrace(iterations=[] if self.record_iterations else None)
+        epoch_weights: List[np.ndarray] = []
+        global_step = 0
+
+        for epoch in range(epochs):
+            event = EpochEvent(epoch=epoch)
+            if epoch > 0:
+                for worker in self.workers:
+                    worker.start_epoch(reshuffle=reshuffle, regenerate=regenerate)
+            # Build the interleaving: every worker contributes its per-epoch
+            # iterations; the order is a random interleaving which models the
+            # unpredictable scheduling of lock-free threads.
+            schedule = np.concatenate(
+                [np.full(w.iterations_per_epoch, w.worker_id, dtype=np.int64) for w in self.workers]
+            )
+            self._rng.shuffle(schedule)
+            worker_by_id = {w.worker_id: w for w in self.workers}
+
+            for wid in schedule:
+                worker = worker_by_id[int(wid)]
+                global_row, _local, step_weight = worker.next_sample()
+                x_idx, x_val = self.X.row(global_row)
+                delay = self.staleness.draw(self._rng)
+                stale_coords, conflicts = model.read_stale(
+                    x_idx, delay, writer_id=worker.worker_id
+                )
+                delta_values, dense_coords = self.update_rule.compute_update(
+                    stale_coords, x_idx, x_val, float(self.y[global_row]), step_weight
+                )
+                if self.dense_rule_applies_full_vector and dense_coords:
+                    dense_delta = getattr(self.update_rule, "last_dense_delta", None)
+                    if dense_delta is not None:
+                        model.apply_dense_update(dense_delta, worker_id=worker.worker_id)
+                model.apply_update(x_idx, delta_values, worker_id=worker.worker_id)
+
+                event.merge_iteration(
+                    grad_nnz=int(x_idx.size),
+                    dense_coords=int(dense_coords),
+                    conflicts=conflicts,
+                    delay=delay,
+                )
+                if self.record_iterations and trace.iterations is not None:
+                    trace.iterations.append(
+                        IterationEvent(
+                            global_step=global_step,
+                            worker_id=worker.worker_id,
+                            sample_index=global_row,
+                            delay=delay,
+                            conflicts=conflicts,
+                            grad_nnz=int(x_idx.size),
+                            step_scale=step_weight,
+                        )
+                    )
+                global_step += 1
+
+            trace.add_epoch(event)
+            snapshot = model.snapshot()
+            if keep_epoch_weights:
+                epoch_weights.append(snapshot)
+            if self.epoch_callback is not None:
+                self.epoch_callback(epoch, snapshot)
+
+        return SimulationResult(
+            weights=model.snapshot(),
+            trace=trace,
+            epoch_weights=epoch_weights if keep_epoch_weights else None,
+        )
+
+
+__all__ = ["AsyncSimulator", "SimulationResult", "UpdateRule"]

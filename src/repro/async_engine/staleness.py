@@ -1,0 +1,120 @@
+"""Staleness (delay) models.
+
+The delay parameter τ is "the maximum lag between when a gradient is
+computed and when it is applied" and is assumed to be linearly related to
+the concurrency (Section 3.1).  The simulator draws a per-iteration delay
+from one of the models below; the default :class:`UniformDelay` with
+``max_delay = num_workers`` matches that assumption.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng
+
+
+class StalenessModel(ABC):
+    """Interface: draw how many recent updates a read misses."""
+
+    #: The largest delay the model can produce (used to size the history).
+    max_delay: int = 0
+
+    @abstractmethod
+    def draw(self, rng: np.random.Generator) -> int:
+        """Sample the delay (number of missed updates) for one read."""
+
+    def expected_delay(self) -> float:
+        """Expected delay (used by reports); subclasses may override."""
+        return float(self.max_delay) / 2.0
+
+
+class ConstantDelay(StalenessModel):
+    """Every read misses exactly ``delay`` updates (worst-case style)."""
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.max_delay = int(delay)
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return self.max_delay
+
+    def expected_delay(self) -> float:
+        return float(self.max_delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantDelay({self.max_delay})"
+
+
+class UniformDelay(StalenessModel):
+    """Delay drawn uniformly from ``{0, 1, ..., max_delay}``."""
+
+    def __init__(self, max_delay: int) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.max_delay = int(max_delay)
+
+    def draw(self, rng: np.random.Generator) -> int:
+        if self.max_delay == 0:
+            return 0
+        return int(rng.integers(0, self.max_delay + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformDelay({self.max_delay})"
+
+
+class GeometricDelay(StalenessModel):
+    """Geometrically distributed delay truncated at ``max_delay``.
+
+    Models the empirical observation that most reads are nearly fresh while
+    a few are very stale (heavy scheduling jitter).
+    """
+
+    def __init__(self, max_delay: int, mean_delay: Optional[float] = None) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.max_delay = int(max_delay)
+        if mean_delay is None:
+            mean_delay = max(max_delay / 4.0, 1e-9)
+        if mean_delay <= 0:
+            raise ValueError("mean_delay must be positive")
+        self.mean_delay = float(mean_delay)
+        self._p = 1.0 / (1.0 + self.mean_delay)
+
+    def draw(self, rng: np.random.Generator) -> int:
+        if self.max_delay == 0:
+            return 0
+        # numpy's geometric counts trials >= 1; shift to start at 0.
+        value = int(rng.geometric(self._p)) - 1
+        return min(value, self.max_delay)
+
+    def expected_delay(self) -> float:
+        return min(self.mean_delay, float(self.max_delay))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GeometricDelay(max={self.max_delay}, mean={self.mean_delay:.2f})"
+
+
+def make_staleness_model(kind: str, max_delay: int, **kwargs) -> StalenessModel:
+    """Factory: ``"uniform"``, ``"constant"`` or ``"geometric"``."""
+    kind = kind.lower()
+    if kind == "uniform":
+        return UniformDelay(max_delay)
+    if kind == "constant":
+        return ConstantDelay(max_delay)
+    if kind == "geometric":
+        return GeometricDelay(max_delay, kwargs.get("mean_delay"))
+    raise ValueError(f"unknown staleness model {kind!r}")
+
+
+__all__ = [
+    "StalenessModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "GeometricDelay",
+    "make_staleness_model",
+]

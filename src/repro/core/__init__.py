@@ -1,0 +1,65 @@
+"""The paper's primary contribution: importance-sampled asynchronous SGD.
+
+Sub-modules
+-----------
+``importance``
+    Lipschitz-based sampling distributions (Eq. 11/12) and unbiased
+    re-weighting (Eq. 8).
+``sampler``
+    O(1) alias-method weighted sampler and pre-generated sample sequences.
+``balancing``
+    Algorithm 3 importance balancing, the ρ metric and the adaptive
+    balance-or-shuffle rule of Algorithm 4.
+``partition``
+    Splitting a (re-ordered) dataset across workers and per-worker
+    importance distributions.
+``is_asgd``
+    The IS-ASGD solver (Algorithm 4) built on the asynchronous engine.
+``config``
+    Dataclasses describing an IS-ASGD run.
+"""
+
+from repro.core.importance import (
+    ImportanceScheme,
+    importance_weights,
+    optimal_probabilities,
+    lipschitz_probabilities,
+    uniform_probabilities,
+    stepsize_reweighting,
+)
+from repro.core.sampler import AliasSampler, InverseCDFSampler, SampleSequence, make_sampler
+from repro.core.balancing import (
+    BalancingDecision,
+    balance_dataset,
+    decide_balancing,
+    head_tail_order,
+    importance_mass,
+    imbalance_ratio,
+)
+from repro.core.partition import Partition, WorkerShard, partition_dataset
+from repro.core.config import ISASGDConfig
+from repro.core.is_asgd import ISASGDSolver
+
+__all__ = [
+    "ImportanceScheme",
+    "importance_weights",
+    "optimal_probabilities",
+    "lipschitz_probabilities",
+    "uniform_probabilities",
+    "stepsize_reweighting",
+    "AliasSampler",
+    "InverseCDFSampler",
+    "SampleSequence",
+    "make_sampler",
+    "BalancingDecision",
+    "balance_dataset",
+    "decide_balancing",
+    "head_tail_order",
+    "importance_mass",
+    "imbalance_ratio",
+    "Partition",
+    "WorkerShard",
+    "partition_dataset",
+    "ISASGDConfig",
+    "ISASGDSolver",
+]

@@ -1,0 +1,124 @@
+"""Importance-sampling distributions and unbiased re-weighting.
+
+Importance sampling replaces the uniform draw of SGD by a weighted draw
+with probability ``p_i`` (Eq. 7) and compensates by scaling the step by
+``1 / (n p_i)`` (Eq. 8) so the update stays an unbiased estimator of the
+full gradient.  Two distributions are implemented:
+
+* :func:`optimal_probabilities` — the variance-minimising distribution
+  proportional to the *current* gradient norms (Eq. 11).  It requires a full
+  pass per iteration and is therefore only used by the theory/diagnostics
+  modules.
+* :func:`lipschitz_probabilities` — the practical distribution proportional
+  to the per-sample Lipschitz constants (Eq. 12), fixed for the whole run.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.objectives.base import Objective
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_array_1d, check_probability_vector
+
+
+class ImportanceScheme(str, Enum):
+    """Which sampling distribution a solver uses."""
+
+    UNIFORM = "uniform"
+    LIPSCHITZ = "lipschitz"
+    GRADIENT_NORM = "gradient_norm"
+
+
+def importance_weights(lipschitz: np.ndarray, *, floor: float = 1e-12) -> np.ndarray:
+    """Raw (unnormalised) importance factors ``I_i`` from Lipschitz constants.
+
+    A tiny floor keeps samples with (numerically) zero Lipschitz constant
+    reachable, which both avoids division by zero in the re-weighting and
+    keeps the estimator unbiased over the full support.
+    """
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    if np.any(L < 0):
+        raise ValueError("Lipschitz constants must be non-negative")
+    return np.maximum(L, floor)
+
+
+def uniform_probabilities(n: int) -> np.ndarray:
+    """The uniform distribution ``p_i = 1/n`` used by plain SGD/ASGD."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.full(n, 1.0 / n, dtype=np.float64)
+
+
+def lipschitz_probabilities(lipschitz: np.ndarray, *, floor: float = 1e-12) -> np.ndarray:
+    """The practical IS distribution ``p_i = L_i / Σ_j L_j`` (Eq. 12)."""
+    weights = importance_weights(lipschitz, floor=floor)
+    return weights / weights.sum()
+
+
+def optimal_probabilities(
+    w: np.ndarray,
+    X: CSRMatrix,
+    y: np.ndarray,
+    objective: Objective,
+    *,
+    floor: float = 1e-12,
+) -> np.ndarray:
+    """The variance-minimising distribution ``p_i ∝ ||∇f_i(w)||`` (Eq. 11).
+
+    Requires one full pass over the data; exposed for diagnostics and for
+    quantifying how close the Lipschitz proxy comes to the optimum.
+    """
+    norms = np.empty(X.n_rows, dtype=np.float64)
+    for i in range(X.n_rows):
+        idx, val = X.row(i)
+        norms[i] = objective.sample_grad(w, idx, val, float(y[i])).norm()
+    norms = np.maximum(norms, floor)
+    return norms / norms.sum()
+
+
+def stepsize_reweighting(probabilities: np.ndarray) -> np.ndarray:
+    """Per-sample step multipliers ``1 / (n p_i)`` making the IS estimator unbiased (Eq. 8)."""
+    p = check_probability_vector(probabilities, "probabilities")
+    n = p.shape[0]
+    return 1.0 / (n * p)
+
+
+def effective_sample_size(probabilities: np.ndarray) -> float:
+    """Kish effective sample size of an importance distribution.
+
+    ``ESS = 1 / Σ p_i²`` ranges from 1 (all mass on one sample) to ``n``
+    (uniform); a useful one-number diagnostic of how aggressive a sampling
+    distribution is.
+    """
+    p = check_probability_vector(probabilities, "probabilities")
+    return float(1.0 / np.dot(p, p))
+
+
+def variance_reduction_factor(lipschitz: np.ndarray) -> float:
+    """Predicted bound-improvement factor of IS over uniform sampling.
+
+    From Eq. 13 vs Eq. 14 the bound ratio is
+    ``(Σ L_i / n) / sqrt(Σ L_i² / n) = sqrt(ψ)`` — the square root of the ψ
+    ratio of Eq. 15.  A value of 1 means no improvement; smaller is better.
+    """
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    denom = float(np.sqrt(np.mean(L**2)))
+    if denom == 0.0:
+        return 1.0
+    return float(np.mean(L)) / denom
+
+
+__all__ = [
+    "ImportanceScheme",
+    "importance_weights",
+    "uniform_probabilities",
+    "lipschitz_probabilities",
+    "optimal_probabilities",
+    "stepsize_reweighting",
+    "effective_sample_size",
+    "variance_reduction_factor",
+]

@@ -1,0 +1,215 @@
+"""IS-ASGD: the paper's Algorithm 4.
+
+The solver combines every piece of the library:
+
+1. compute the per-sample Lipschitz constants of the objective;
+2. evaluate the imbalance-potential metric ρ (Eq. 20) and either
+   importance-balance (Algorithm 3) or randomly shuffle the dataset;
+3. partition the re-ordered data into contiguous shards, one per worker,
+   and build each worker's *local* importance distribution (Eq. 12 over its
+   own shard);
+4. pre-generate each worker's weighted sample sequence;
+5. run lock-free asynchronous execution, with every step re-weighted by
+   ``1/(n_a p_i)`` for unbiasedness.
+
+The asynchronous execution goes through the perturbed-iterate simulator by
+default (see DESIGN.md §5 for the substitution rationale); the real
+threading backend can be selected for functional validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.async_engine.simulator import AsyncSimulator
+from repro.async_engine.staleness import StalenessModel, UniformDelay
+from repro.async_engine.worker import build_workers
+from repro.core.balancing import BalancingDecision, balance_dataset
+from repro.core.config import ISASGDConfig
+from repro.core.importance import ImportanceScheme
+from repro.core.partition import partition_dataset
+from repro.solvers.asgd import SparseSGDUpdateRule
+from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.results import TrainResult
+from repro.utils.rng import as_rng
+
+
+class ISASGDSolver(BaseSolver):
+    """Importance-sampled asynchronous SGD (Algorithm 4).
+
+    Parameters
+    ----------
+    config:
+        Full :class:`~repro.core.config.ISASGDConfig`.  The convenience
+        keyword arguments of :class:`~repro.solvers.base.BaseSolver`
+        (``step_size``, ``epochs``, ``seed``) are taken from the config.
+    cost_model:
+        Shared cost model for the simulated wall-clock.
+    staleness:
+        Optional override of the delay model (defaults to
+        ``UniformDelay(config.effective_max_delay)``).
+    backend:
+        ``"simulated"`` (default) or ``"threads"``.
+    """
+
+    name = "is_asgd"
+
+    def __init__(
+        self,
+        config: Optional[ISASGDConfig] = None,
+        *,
+        cost_model=None,
+        staleness: Optional[StalenessModel] = None,
+        backend: str = "simulated",
+        **config_overrides,
+    ) -> None:
+        if config is None:
+            config = ISASGDConfig(**config_overrides)
+        elif config_overrides:
+            config = config.with_updates(**config_overrides)
+        super().__init__(
+            step_size=config.step_size,
+            epochs=config.epochs,
+            seed=config.seed,
+            cost_model=cost_model,
+            record_every=config.record_every,
+        )
+        if backend not in {"simulated", "threads"}:
+            raise ValueError("backend must be 'simulated' or 'threads'")
+        self.config = config
+        self.staleness = staleness
+        self.backend = backend
+
+    @property
+    def parallel_workers(self) -> int:
+        return self.config.num_workers
+
+    # ------------------------------------------------------------------ #
+    def prepare_partition(self, problem: Problem, rng: np.random.Generator):
+        """Steps 1-3 of Algorithm 4: Lipschitz constants, balancing, partitioning.
+
+        Returns ``(partition, balancing_result)``; exposed separately so the
+        balancing ablation benchmarks can inspect the partition without
+        running training.
+        """
+        cfg = self.config
+        L = problem.lipschitz_constants()
+        balancing = balance_dataset(
+            L,
+            cfg.num_workers,
+            zeta=cfg.zeta,
+            seed=rng,
+            force=cfg.force_balancing,
+            use_normalized_rho=cfg.use_normalized_rho,
+            method=cfg.balancing_method,
+        )
+        scheme = "lipschitz" if cfg.importance is ImportanceScheme.LIPSCHITZ else "uniform"
+        partition = partition_dataset(balancing.order, L, cfg.num_workers, scheme=scheme)
+        return partition, balancing
+
+    def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
+        """Run IS-ASGD on ``problem``."""
+        rng = as_rng(self.seed)
+        cfg = self.config
+        partition, balancing = self.prepare_partition(problem, rng)
+
+        if self.backend == "threads":
+            return self._fit_threads(problem, partition, balancing, rng, initial_weights)
+
+        iterations_per_worker = max(1, problem.n_samples // cfg.num_workers)
+        workers = build_workers(
+            partition,
+            iterations_per_worker,
+            step_clip=cfg.step_clip,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            importance_sampling=cfg.importance is ImportanceScheme.LIPSCHITZ,
+        )
+        rule = SparseSGDUpdateRule(objective=problem.objective, step_size=cfg.step_size)
+        staleness = self.staleness or UniformDelay(cfg.effective_max_delay)
+        simulator = AsyncSimulator(
+            X=problem.X,
+            y=problem.y,
+            workers=workers,
+            update_rule=rule,
+            staleness=staleness,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        sim_result = simulator.run(
+            cfg.epochs,
+            initial_weights=initial_weights,
+            reshuffle=not cfg.reshuffle_sequences,
+            regenerate=cfg.reshuffle_sequences,
+            keep_epoch_weights=True,
+        )
+        info = self._info(problem, partition, balancing)
+        info["conflict_rate"] = sim_result.trace.conflict_rate()
+        info["max_delay"] = staleness.max_delay
+        return self._finalize(
+            problem,
+            sim_result.epoch_weights or [sim_result.weights],
+            sim_result.trace,
+            include_sampling=True,
+            info=info,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _fit_threads(self, problem: Problem, partition, balancing, rng, initial_weights) -> TrainResult:
+        from repro.async_engine.events import EpochEvent, ExecutionTrace
+        from repro.async_engine.threads import HogwildThreadPool
+
+        cfg = self.config
+        pool = HogwildThreadPool(
+            problem.X,
+            problem.y,
+            problem.objective,
+            partition,
+            step_size=cfg.step_size,
+            importance_sampling=cfg.importance is ImportanceScheme.LIPSCHITZ,
+            step_clip=cfg.step_clip,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        if initial_weights is not None:
+            pool.weights[:] = initial_weights
+        iterations_per_worker = max(1, problem.n_samples // cfg.num_workers)
+
+        trace = ExecutionTrace()
+        weights_by_epoch = []
+        avg_nnz = problem.X.nnz / max(problem.n_samples, 1)
+
+        def callback(epoch: int, weights: np.ndarray) -> None:
+            event = EpochEvent(epoch=epoch)
+            total = iterations_per_worker * cfg.num_workers
+            event.iterations = total
+            event.sparse_coordinate_updates = int(total * avg_nnz)
+            event.sample_draws = total
+            trace.add_epoch(event)
+            weights_by_epoch.append(weights)
+
+        pool.run(cfg.epochs, iterations_per_worker, epoch_callback=callback)
+        info = self._info(problem, partition, balancing)
+        info["backend"] = "threads"
+        return self._finalize(problem, weights_by_epoch, trace, include_sampling=True, info=info)
+
+    # ------------------------------------------------------------------ #
+    def _info(self, problem: Problem, partition, balancing) -> dict:
+        from repro.sparse.stats import psi
+
+        L = problem.lipschitz_constants()
+        return {
+            "backend": self.backend,
+            "num_workers": self.config.num_workers,
+            "balancing_decision": balancing.decision.value,
+            "balancing_method": self.config.balancing_method,
+            "rho": balancing.rho,
+            "zeta": self.config.zeta,
+            "psi": psi(L),
+            "mass_imbalance_before": balancing.imbalance_before,
+            "mass_imbalance_after": balancing.imbalance_after,
+            "local_vs_global_distortion": partition.local_vs_global_distortion(),
+            "importance_scheme": self.config.importance.value,
+        }
+
+
+__all__ = ["ISASGDSolver"]

@@ -1,0 +1,168 @@
+"""Worker data partitioning.
+
+After the dataset has been re-ordered (balanced or shuffled) Algorithm 4
+splits it into contiguous shards, one per worker, and each worker builds its
+*local* importance distribution from its own Lipschitz constants.  This
+module owns that split and the per-shard distributions, and provides the
+diagnostics used in the Figure 2 discussion (local vs global probabilities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.importance import lipschitz_probabilities, uniform_probabilities
+from repro.utils.validation import check_array_1d
+
+
+@dataclass
+class WorkerShard:
+    """One worker's contiguous shard of the (re-ordered) dataset.
+
+    Attributes
+    ----------
+    worker_id:
+        Index of the worker owning the shard.
+    row_indices:
+        Global row indices (into the original dataset) of the shard's
+        samples, in shard-local order.
+    lipschitz:
+        The per-sample Lipschitz constants of those rows.
+    probabilities:
+        The worker-local sampling distribution over the shard.
+    """
+
+    worker_id: int
+    row_indices: np.ndarray
+    lipschitz: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.row_indices = np.ascontiguousarray(self.row_indices, dtype=np.int64)
+        self.lipschitz = check_array_1d(self.lipschitz, "lipschitz")
+        self.probabilities = np.ascontiguousarray(self.probabilities, dtype=np.float64)
+        if not (self.row_indices.shape == self.lipschitz.shape == self.probabilities.shape):
+            raise ValueError("row_indices, lipschitz and probabilities must have equal shapes")
+
+    @property
+    def size(self) -> int:
+        """Number of samples in the shard."""
+        return int(self.row_indices.size)
+
+    @property
+    def importance_mass(self) -> float:
+        """Total importance mass ``Φ_a = Σ L_i`` of the shard."""
+        return float(self.lipschitz.sum())
+
+    def global_probabilities(self, total_mass: float) -> np.ndarray:
+        """What the shard samples' probabilities would be under *global* IS."""
+        if total_mass <= 0.0:
+            return uniform_probabilities(max(self.size, 1))[: self.size]
+        return self.lipschitz / total_mass
+
+
+@dataclass
+class Partition:
+    """A full partition of the dataset across workers."""
+
+    shards: List[WorkerShard]
+    order: np.ndarray
+
+    @property
+    def num_workers(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @property
+    def total_mass(self) -> float:
+        """Total importance mass of the dataset."""
+        return float(sum(s.importance_mass for s in self.shards))
+
+    def mass_imbalance(self) -> float:
+        """Max/min ratio of per-shard importance masses (1.0 = perfect balance)."""
+        masses = np.array([s.importance_mass for s in self.shards])
+        min_mass = float(masses.min())
+        if min_mass <= 0.0:
+            return float("inf")
+        return float(masses.max()) / min_mass
+
+    def local_vs_global_distortion(self) -> float:
+        """Mean absolute relative distortion of local vs global sampling probabilities.
+
+        For each sample the local probability is ``L_i / Φ_a`` and under a
+        perfectly balanced partition with ``numT`` workers it would equal
+        ``numT * L_i / Σ L`` — i.e. the global probability scaled by the
+        worker count.  The distortion reported here is the mean of
+        ``|p_local - numT * p_global| / (numT * p_global)`` over all samples,
+        which is exactly zero when every ``Φ_a`` is equal (Eq. 19).
+        """
+        total = self.total_mass
+        if total <= 0.0:
+            return 0.0
+        numT = self.num_workers
+        distortions = []
+        for shard in self.shards:
+            p_local = shard.probabilities
+            p_global_scaled = numT * shard.global_probabilities(total)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rel = np.abs(p_local - p_global_scaled) / np.where(
+                    p_global_scaled > 0, p_global_scaled, 1.0
+                )
+            distortions.append(rel)
+        return float(np.concatenate(distortions).mean()) if distortions else 0.0
+
+
+def partition_dataset(
+    order: Sequence[int],
+    lipschitz: np.ndarray,
+    num_workers: int,
+    *,
+    scheme: str = "lipschitz",
+) -> Partition:
+    """Split the re-ordered dataset into contiguous per-worker shards.
+
+    Parameters
+    ----------
+    order:
+        Row ordering produced by :func:`repro.core.balancing.balance_dataset`
+        (or any permutation / subset of row indices).
+    lipschitz:
+        Per-sample Lipschitz constants indexed by *original* row index.
+    num_workers:
+        Number of shards; must be >= 1 (it is capped at the number of rows).
+    scheme:
+        ``"lipschitz"`` builds each shard's IS distribution from its local
+        constants (Algorithm 4, line 11); ``"uniform"`` gives every local
+        sample equal probability (plain ASGD behaviour).
+    """
+    order = np.ascontiguousarray(order, dtype=np.int64)
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    if order.size == 0:
+        raise ValueError("order must contain at least one row index")
+    if order.min() < 0 or order.max() >= L.shape[0]:
+        raise ValueError("order contains indices outside the Lipschitz array")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    num_workers = min(num_workers, order.size)
+
+    bounds = np.linspace(0, order.size, num_workers + 1).astype(np.int64)
+    shards: List[WorkerShard] = []
+    for a in range(num_workers):
+        rows = order[bounds[a] : bounds[a + 1]]
+        local_L = L[rows]
+        if scheme == "lipschitz":
+            probs = lipschitz_probabilities(local_L)
+        elif scheme == "uniform":
+            probs = uniform_probabilities(rows.size)
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        shards.append(
+            WorkerShard(worker_id=a, row_indices=rows, lipschitz=local_L, probabilities=probs)
+        )
+    return Partition(shards=shards, order=order)
+
+
+__all__ = ["WorkerShard", "Partition", "partition_dataset"]

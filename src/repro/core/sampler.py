@@ -1,0 +1,204 @@
+"""Weighted samplers and pre-generated sample sequences.
+
+The paper stresses that IS adds essentially no on-line cost because the
+weighted sample sequence can be generated *before* training and the compute
+threads simply iterate over it (Algorithm 2, line 3).  This module provides
+two weighted samplers — the O(1)-per-draw alias method (Walker/Vose) and a
+binary-search inverse-CDF sampler — plus :class:`SampleSequence`, the
+pre-generated sequence abstraction the solvers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal, Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_probability_vector
+
+
+class AliasSampler:
+    """Vose's alias method: O(n) construction, O(1) per draw.
+
+    Parameters
+    ----------
+    probabilities:
+        The target distribution over ``n`` items.
+    seed:
+        Randomness source for :meth:`draw`/:meth:`sample`.
+    """
+
+    def __init__(self, probabilities: np.ndarray, seed: RandomState = None) -> None:
+        p = check_probability_vector(probabilities, "probabilities")
+        self._rng = as_rng(seed)
+        self.n = p.shape[0]
+        self.probabilities = p
+        self._prob_table = np.zeros(self.n, dtype=np.float64)
+        self._alias_table = np.zeros(self.n, dtype=np.int64)
+        self._build(p)
+
+    def _build(self, p: np.ndarray) -> None:
+        scaled = p * self.n
+        small = [i for i in range(self.n) if scaled[i] < 1.0]
+        large = [i for i in range(self.n) if scaled[i] >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob_table[s] = scaled[s]
+            self._alias_table[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for remaining in (*large, *small):
+            self._prob_table[remaining] = 1.0
+            self._alias_table[remaining] = remaining
+
+    def draw(self) -> int:
+        """Draw a single index from the distribution."""
+        col = int(self._rng.integers(0, self.n))
+        if self._rng.random() < self._prob_table[col]:
+            return col
+        return int(self._alias_table[col])
+
+    def sample(self, size: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. indices (vectorised)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        gen = rng if rng is not None else self._rng
+        cols = gen.integers(0, self.n, size=size)
+        coins = gen.random(size=size)
+        take_alias = coins >= self._prob_table[cols]
+        out = np.where(take_alias, self._alias_table[cols], cols)
+        return out.astype(np.int64)
+
+
+class InverseCDFSampler:
+    """Weighted sampling by binary search on the cumulative distribution.
+
+    O(log n) per draw; kept as a reference implementation and for the
+    sampler ablation benchmark.
+    """
+
+    def __init__(self, probabilities: np.ndarray, seed: RandomState = None) -> None:
+        p = check_probability_vector(probabilities, "probabilities")
+        self._rng = as_rng(seed)
+        self.n = p.shape[0]
+        self.probabilities = p
+        self._cdf = np.cumsum(p)
+        self._cdf[-1] = 1.0
+
+    def draw(self) -> int:
+        """Draw a single index from the distribution."""
+        u = self._rng.random()
+        return int(np.searchsorted(self._cdf, u, side="right"))
+
+    def sample(self, size: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. indices (vectorised)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        gen = rng if rng is not None else self._rng
+        u = gen.random(size=size)
+        return np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+
+
+SamplerKind = Literal["alias", "inverse_cdf"]
+
+
+def make_sampler(
+    probabilities: np.ndarray,
+    kind: SamplerKind = "alias",
+    seed: RandomState = None,
+):
+    """Factory for the weighted samplers (``"alias"`` or ``"inverse_cdf"``)."""
+    if kind == "alias":
+        return AliasSampler(probabilities, seed=seed)
+    if kind == "inverse_cdf":
+        return InverseCDFSampler(probabilities, seed=seed)
+    raise ValueError(f"unknown sampler kind {kind!r}")
+
+
+@dataclass
+class SampleSequence:
+    """A pre-generated sequence of (local) sample indices for one worker.
+
+    Attributes
+    ----------
+    indices:
+        The sequence of local row indices to visit, in order.
+    probabilities:
+        The distribution the sequence was drawn from (needed for the
+        ``1/(n p_i)`` re-weighting).
+    """
+
+    indices: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        self.probabilities = check_probability_vector(self.probabilities, "probabilities")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.probabilities.shape[0]
+        ):
+            raise ValueError("sequence indices out of range of the probability vector")
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.indices.tolist())
+
+    def __getitem__(self, t: int) -> int:
+        return int(self.indices[t])
+
+    def reshuffled(self, seed: RandomState = None) -> "SampleSequence":
+        """Return a permuted copy of the sequence.
+
+        This implements the paper's "generate once and shuffle every epoch"
+        approximation (Section 4.2): the multiset of visited samples — and
+        therefore the empirical sampling frequencies — is preserved while
+        the visit order changes.
+        """
+        rng = as_rng(seed)
+        return SampleSequence(indices=rng.permutation(self.indices), probabilities=self.probabilities)
+
+    @classmethod
+    def generate(
+        cls,
+        probabilities: np.ndarray,
+        length: int,
+        *,
+        seed: RandomState = None,
+        sampler: SamplerKind = "alias",
+    ) -> "SampleSequence":
+        """Pre-generate a weighted sample sequence of ``length`` draws."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        rng = as_rng(seed)
+        s = make_sampler(probabilities, kind=sampler, seed=rng)
+        return cls(indices=s.sample(length, rng=rng), probabilities=np.asarray(probabilities, dtype=np.float64))
+
+    @classmethod
+    def uniform_epoch(cls, n: int, *, seed: RandomState = None) -> "SampleSequence":
+        """A without-replacement random permutation of ``range(n)`` (plain SGD epoch)."""
+        rng = as_rng(seed)
+        p = np.full(n, 1.0 / n)
+        return cls(indices=rng.permutation(n), probabilities=p)
+
+    def empirical_frequencies(self) -> np.ndarray:
+        """Observed visit frequencies (should approach ``probabilities`` for long sequences)."""
+        counts = np.bincount(self.indices, minlength=self.probabilities.shape[0])
+        total = counts.sum()
+        return counts / total if total else counts.astype(np.float64)
+
+
+__all__ = [
+    "AliasSampler",
+    "InverseCDFSampler",
+    "SampleSequence",
+    "make_sampler",
+]

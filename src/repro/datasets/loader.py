@@ -1,0 +1,113 @@
+"""Dataset loading facade.
+
+:func:`load_dataset` is the single entry point the examples and the
+experiment harness use: it accepts a catalog name (generating the synthetic
+surrogate on the fly, with in-process caching) or a path to a LibSVM file
+(loading the real data).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.catalog import DatasetDescriptor, get_descriptor
+from repro.datasets.synthetic import make_sparse_classification
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.io import load_libsvm
+from repro.sparse.stats import DatasetStats, describe_dataset
+from repro.utils.rng import RandomState, derive_seed
+
+
+@dataclass
+class Dataset:
+    """A loaded dataset bundle.
+
+    Attributes
+    ----------
+    name:
+        Catalog name or file stem.
+    X, y:
+        Design matrix and labels.
+    descriptor:
+        The catalog descriptor when the dataset came from the catalog.
+    w_true:
+        Planted ground-truth weights for synthetic data (``None`` otherwise).
+    """
+
+    name: str
+    X: CSRMatrix
+    y: np.ndarray
+    descriptor: Optional[DatasetDescriptor] = None
+    w_true: Optional[np.ndarray] = None
+
+    @property
+    def n_samples(self) -> int:
+        """Number of rows."""
+        return self.X.n_rows
+
+    @property
+    def n_features(self) -> int:
+        """Number of columns."""
+        return self.X.n_cols
+
+    def stats(self, lipschitz: np.ndarray, source: Optional[str] = None) -> DatasetStats:
+        """Table-1 style statistics given per-sample Lipschitz constants."""
+        src = source or (self.descriptor.paper.source if self.descriptor else "file")
+        return describe_dataset(self.name, self.X, lipschitz, source=src)
+
+
+_CACHE: Dict[Tuple[str, int], Dataset] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached synthetic datasets (mostly useful in tests)."""
+    _CACHE.clear()
+
+
+def load_dataset(
+    name_or_path: str,
+    *,
+    seed: RandomState = 0,
+    use_cache: bool = True,
+) -> Dataset:
+    """Load a dataset by catalog name or LibSVM file path.
+
+    Parameters
+    ----------
+    name_or_path:
+        Either a name known to :mod:`repro.datasets.catalog` (e.g.
+        ``"news20"``, ``"kdd_bridge_smoke"``) or a path to a LibSVM file.
+    seed:
+        Seed for synthetic generation (catalog names only).  The same
+        ``(name, seed)`` pair always returns the identical dataset.
+    use_cache:
+        Reuse an already generated synthetic dataset within the process.
+    """
+    path = Path(name_or_path)
+    if path.suffix in {".txt", ".libsvm", ".svm", ".gz"} or path.exists():
+        X, y = load_libsvm(path)
+        return Dataset(name=path.stem, X=X, y=y)
+
+    descriptor = get_descriptor(name_or_path)
+    # zlib.crc32 gives a process-independent name digest (Python's builtin
+    # hash() is salted per process, which would make the generated data
+    # differ from run to run).
+    name_digest = zlib.crc32(descriptor.name.encode("utf-8")) & 0x7FFFFFFF
+    cache_seed = derive_seed(seed, name_digest)
+    key = (descriptor.name, cache_seed)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    X, y, w_true = make_sparse_classification(descriptor.surrogate, seed=cache_seed)
+    ds = Dataset(name=name_or_path, X=X, y=y, descriptor=descriptor, w_true=w_true)
+    if use_cache:
+        _CACHE[key] = ds
+    return ds
+
+
+__all__ = ["Dataset", "load_dataset", "clear_cache"]

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+The harness is config-driven: :mod:`repro.experiments.configs` defines the
+sweeps (dataset x solver x concurrency), :mod:`repro.experiments.runner`
+executes them, :mod:`repro.experiments.tables` /
+:mod:`repro.experiments.figures` shape the results into the paper's Table 1
+and Figures 3-5, and :mod:`repro.experiments.report` renders plain-text
+tables (the library produces data series, not plots, so it stays
+matplotlib-free).
+"""
+
+from repro.experiments.configs import ExperimentConfig, RunSpec, figure_config, table1_config
+from repro.experiments.runner import ExperimentRunner, run_single
+from repro.experiments.tables import table1_rows
+from repro.experiments.figures import (
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    headline_numbers,
+)
+from repro.experiments.report import format_table, render_figure_summary
+
+__all__ = [
+    "ExperimentConfig",
+    "RunSpec",
+    "figure_config",
+    "table1_config",
+    "ExperimentRunner",
+    "run_single",
+    "table1_rows",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "headline_numbers",
+    "format_table",
+    "render_figure_summary",
+]

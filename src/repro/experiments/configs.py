@@ -1,0 +1,189 @@
+"""Experiment configurations.
+
+A :class:`RunSpec` is one (dataset, solver, concurrency) training run; an
+:class:`ExperimentConfig` is the list of runs a table or figure needs plus
+the shared evaluation settings.  The default configurations mirror the
+paper's Section 4 setup at surrogate scale: the per-dataset step sizes
+(λ = 0.5 everywhere except URL's 0.05), thread counts {16, 32, 44} and the
+restriction of SVRG-ASGD to the (smallest, densest) News20 dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.catalog import get_descriptor, list_datasets
+
+#: The concurrency levels evaluated in the paper.
+PAPER_THREAD_COUNTS: Tuple[int, ...] = (16, 32, 44)
+
+#: Scaled-down concurrency levels used by the fast benchmark configurations.
+FAST_THREAD_COUNTS: Tuple[int, ...] = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One training run of one solver on one dataset at one concurrency."""
+
+    dataset: str
+    solver: str
+    num_workers: int
+    step_size: float
+    epochs: int
+    seed: int = 0
+    solver_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """Grouping key ``(dataset, solver, num_workers)``."""
+        return (self.dataset, self.solver, self.num_workers)
+
+    def kwargs(self) -> Dict[str, object]:
+        """Solver keyword arguments as a dict."""
+        return dict(self.solver_kwargs)
+
+
+@dataclass
+class ExperimentConfig:
+    """A named collection of runs plus shared settings."""
+
+    name: str
+    runs: List[RunSpec] = field(default_factory=list)
+    objective: str = "logistic_l1"
+    regularization: float = 1e-4
+    seed: int = 0
+    description: str = ""
+
+    def filter(self, *, dataset: Optional[str] = None, solver: Optional[str] = None) -> "ExperimentConfig":
+        """A copy containing only the runs matching the given dataset/solver."""
+        runs = [
+            r
+            for r in self.runs
+            if (dataset is None or r.dataset == dataset) and (solver is None or r.solver == solver)
+        ]
+        return ExperimentConfig(
+            name=self.name,
+            runs=runs,
+            objective=self.objective,
+            regularization=self.regularization,
+            seed=self.seed,
+            description=self.description,
+        )
+
+
+def _solvers_for(dataset: str, include_svrg_asgd: bool) -> List[str]:
+    """The paper compares SGD/ASGD/IS-ASGD everywhere and adds SVRG-ASGD only
+    on News20 (it cannot finish on the large sparse datasets)."""
+    solvers = ["sgd", "asgd", "is_asgd"]
+    if include_svrg_asgd and dataset.startswith("news20"):
+        solvers.append("svrg_asgd")
+    return solvers
+
+
+def figure_config(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    thread_counts: Sequence[int] = FAST_THREAD_COUNTS,
+    smoke: bool = False,
+    epochs_override: Optional[int] = None,
+    include_svrg_asgd: bool = True,
+    seed: int = 0,
+) -> ExperimentConfig:
+    """The sweep behind Figures 3, 4 and 5.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names (catalog keys); defaults to the four paper datasets.
+    thread_counts:
+        Concurrency levels; the paper's {16, 32, 44} by default for the full
+        configuration, smaller for the fast one.
+    smoke:
+        Use the ``*_smoke`` surrogate sizes (test-suite scale).
+    epochs_override:
+        Force a fixed epoch count regardless of the per-dataset default.
+    """
+    names = list(datasets) if datasets is not None else list_datasets()
+    if smoke:
+        names = [f"{n}_smoke" if not n.endswith("_smoke") else n for n in names]
+    runs: List[RunSpec] = []
+    for name in names:
+        desc = get_descriptor(name)
+        epochs = epochs_override or desc.epochs
+        for solver in _solvers_for(name, include_svrg_asgd):
+            for workers in thread_counts:
+                if solver == "sgd" and workers != thread_counts[0]:
+                    # Serial SGD does not depend on the thread count; run it once.
+                    continue
+                runs.append(
+                    RunSpec(
+                        dataset=name,
+                        solver=solver,
+                        num_workers=workers if solver != "sgd" else 1,
+                        step_size=desc.step_size,
+                        epochs=epochs,
+                        seed=seed,
+                    )
+                )
+    return ExperimentConfig(
+        name="figures_3_4_5",
+        runs=runs,
+        seed=seed,
+        description="Iterative and absolute convergence sweep (Figures 3-5).",
+    )
+
+
+def table1_config(*, smoke: bool = False, seed: int = 0) -> ExperimentConfig:
+    """The dataset-statistics 'sweep' behind Table 1 (no training involved)."""
+    names = list_datasets()
+    if smoke:
+        names = [f"{n}_smoke" for n in names]
+    runs = [
+        RunSpec(dataset=name, solver="none", num_workers=1, step_size=1.0, epochs=0, seed=seed)
+        for name in names
+    ]
+    return ExperimentConfig(
+        name="table1",
+        runs=runs,
+        seed=seed,
+        description="Dataset statistics (Table 1).",
+    )
+
+
+def balancing_ablation_config(
+    *,
+    dataset: str = "kdd_bridge_smoke",
+    num_workers: int = 8,
+    epochs: int = 8,
+    seed: int = 0,
+) -> ExperimentConfig:
+    """Ablation: IS-ASGD with forced balancing vs forced shuffling vs no IS."""
+    desc = get_descriptor(dataset)
+    runs = [
+        RunSpec(dataset=dataset, solver="is_asgd", num_workers=num_workers,
+                step_size=desc.step_size, epochs=epochs, seed=seed,
+                solver_kwargs=(("force_balancing", "balance"),)),
+        RunSpec(dataset=dataset, solver="is_asgd", num_workers=num_workers,
+                step_size=desc.step_size, epochs=epochs, seed=seed,
+                solver_kwargs=(("force_balancing", "shuffle"),)),
+        RunSpec(dataset=dataset, solver="asgd", num_workers=num_workers,
+                step_size=desc.step_size, epochs=epochs, seed=seed),
+    ]
+    return ExperimentConfig(
+        name="balancing_ablation",
+        runs=runs,
+        seed=seed,
+        description="Importance balancing vs random shuffling vs plain ASGD.",
+    )
+
+
+__all__ = [
+    "PAPER_THREAD_COUNTS",
+    "FAST_THREAD_COUNTS",
+    "RunSpec",
+    "ExperimentConfig",
+    "figure_config",
+    "table1_config",
+    "balancing_ablation_config",
+]

@@ -1,0 +1,199 @@
+"""Figure 3/4/5 data builders.
+
+The library produces the *data series* behind each figure (it deliberately
+has no plotting dependency): per-epoch RMSE / error-rate curves for
+Figure 3, wall-clock curves plus optimum-speedup markers for Figure 4, and
+error-rate → speedup slices per concurrency for Figure 5.  The headline
+aggregates of Section 4.2 (optimum speedup range, average speedup, raw
+speedup over SGD) are computed in :func:`headline_numbers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.convergence import ConvergenceCurve
+from repro.metrics.speedup import (
+    SpeedupPoint,
+    average_speedup,
+    optimum_speedup,
+    speedup_slices,
+    time_to_target,
+)
+
+
+@dataclass
+class FigurePanel:
+    """One sub-panel of a figure: one dataset at one concurrency."""
+
+    dataset: str
+    num_workers: int
+    curves: Dict[str, ConvergenceCurve] = field(default_factory=dict)
+    annotations: Dict[str, float] = field(default_factory=dict)
+
+
+def _serial_record(runner: ExperimentRunner, dataset: str):
+    matches = runner.find(dataset=dataset, solver="sgd")
+    return matches[0] if matches else None
+
+
+def figure3_data(runner: ExperimentRunner) -> List[FigurePanel]:
+    """Iterative-convergence panels (metric vs epoch) for every dataset x concurrency.
+
+    Every panel carries the curves of every solver that ran on that dataset;
+    serial SGD (independent of the thread count) is replicated into each
+    panel exactly as the paper plots it.
+    """
+    panels: List[FigurePanel] = []
+    combos = sorted(
+        {(r.dataset, r.num_workers) for r in runner.records if r.solver != "sgd"},
+        key=lambda c: (c[0], c[1]),
+    )
+    for dataset, workers in combos:
+        panel = FigurePanel(dataset=dataset, num_workers=workers)
+        sgd = _serial_record(runner, dataset)
+        if sgd is not None:
+            panel.curves["sgd"] = sgd.curve
+        for record in runner.find(dataset=dataset, num_workers=workers):
+            if record.solver == "sgd":
+                continue
+            panel.curves[record.solver] = record.curve
+        panels.append(panel)
+    return panels
+
+
+def figure4_data(runner: ExperimentRunner) -> List[FigurePanel]:
+    """Absolute-convergence panels (metric vs simulated wall-clock) with optimum markers.
+
+    Each panel's annotations contain, when both solvers are present, the
+    paper's red-circle/blue-dot comparison: the wall-clock at which ASGD and
+    IS-ASGD reach ASGD's best error rate, and the implied speedup.
+    """
+    panels = figure3_data(runner)
+    for panel in panels:
+        asgd = panel.curves.get("asgd")
+        is_asgd = panel.curves.get("is_asgd")
+        if asgd is None or is_asgd is None:
+            continue
+        point = optimum_speedup(is_asgd, asgd)
+        panel.annotations["asgd_optimum_error"] = point.target
+        if point.time_slow is not None:
+            panel.annotations["asgd_time_to_optimum"] = point.time_slow
+        if point.time_fast is not None:
+            panel.annotations["is_asgd_time_to_optimum"] = point.time_fast
+        if point.speedup is not None:
+            panel.annotations["optimum_speedup"] = point.speedup
+    return panels
+
+
+@dataclass
+class SpeedupSlice:
+    """One Figure-5 curve: speedup of IS-ASGD over a baseline across error-rate targets."""
+
+    dataset: str
+    num_workers: int
+    baseline: str
+    points: List[SpeedupPoint]
+
+    @property
+    def mean_speedup(self) -> Optional[float]:
+        """Average of the defined speedups along the slice."""
+        return average_speedup(self.points)
+
+
+def figure5_data(
+    runner: ExperimentRunner,
+    *,
+    targets_per_slice: int = 12,
+) -> List[SpeedupSlice]:
+    """Error-rate → speedup slices of IS-ASGD over ASGD and over SGD (Figure 5)."""
+    slices: List[SpeedupSlice] = []
+    combos = sorted(
+        {(r.dataset, r.num_workers) for r in runner.records if r.solver == "is_asgd"},
+        key=lambda c: (c[0], c[1]),
+    )
+    for dataset, workers in combos:
+        is_asgd = runner.get(dataset, "is_asgd", workers).curve
+        for baseline in ("asgd", "sgd"):
+            matches = runner.find(dataset=dataset, solver=baseline)
+            if baseline == "asgd":
+                matches = [m for m in matches if m.num_workers == workers]
+            if not matches:
+                continue
+            base_curve = matches[0].curve
+            points = speedup_slices(is_asgd, base_curve, count=targets_per_slice)
+            slices.append(
+                SpeedupSlice(dataset=dataset, num_workers=workers, baseline=baseline, points=points)
+            )
+    return slices
+
+
+def headline_numbers(runner: ExperimentRunner) -> Dict[str, object]:
+    """The Section-4.2 headline aggregates.
+
+    Returns the range of optimum speedups (IS-ASGD reaching ASGD's optimum),
+    the range of average speedups along the Figure-5 slices, the raw
+    computational speedups over serial SGD, and the IS sampling overhead.
+    """
+    optimum: List[float] = []
+    averages_over_asgd: List[float] = []
+    raw_over_sgd: List[float] = []
+    sampling_overhead: List[float] = []
+
+    for panel in figure4_data(runner):
+        speedup = panel.annotations.get("optimum_speedup")
+        if speedup is not None:
+            optimum.append(float(speedup))
+
+    for sl in figure5_data(runner):
+        mean = sl.mean_speedup
+        if mean is None:
+            continue
+        if sl.baseline == "asgd":
+            averages_over_asgd.append(float(mean))
+        elif sl.baseline == "sgd":
+            raw_over_sgd.append(float(mean))
+
+    for record in runner.records:
+        if record.solver != "is_asgd" or record.trace is None:
+            continue
+        # Sampling overhead: relative extra time of pricing the run with vs
+        # without the per-draw sampling cost.
+        cost = runner.cost_model
+        with_sampling = cost.trace_wall_clock(record.trace, record.num_workers, include_sampling=True)
+        without = cost.trace_wall_clock(record.trace, record.num_workers, include_sampling=False)
+        if without[-1] > 0:
+            sampling_overhead.append(float(with_sampling[-1] / without[-1] - 1.0))
+
+    def _range(values: Sequence[float]) -> Optional[Dict[str, float]]:
+        if not values:
+            return None
+        return {"min": float(np.min(values)), "max": float(np.max(values)), "mean": float(np.mean(values))}
+
+    return {
+        "optimum_speedup_over_asgd": _range(optimum),
+        "average_speedup_over_asgd": _range(averages_over_asgd),
+        "raw_speedup_over_sgd": _range(raw_over_sgd),
+        "is_sampling_overhead": _range(sampling_overhead),
+        "paper_reference": {
+            "optimum_speedup_over_asgd": (1.13, 1.54),
+            "average_speedup_over_asgd": (1.26, 1.97),
+            "raw_speedup_over_sgd_16_threads": (6.39, 12.29),
+            "raw_speedup_over_sgd_44_threads": (11.89, 23.53),
+            "is_sampling_overhead": (0.011, 0.077),
+        },
+    }
+
+
+__all__ = [
+    "FigurePanel",
+    "SpeedupSlice",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "headline_numbers",
+]

@@ -1,0 +1,128 @@
+"""Plain-text rendering of tables and figure summaries.
+
+Keeps the library plotting-free: every table/figure is emitted as an
+aligned text table (and optionally CSV) that can be diffed against the
+values recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _format_value(value: object, *, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_value(row.get(c, ""), precision=precision) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[k]) for r in rendered)) for k, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[k]) for k, c in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[k]) for k, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]], *, columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as CSV text."""
+    if not rows:
+        return ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def render_curve_rows(curve, *, label: str = "") -> List[Dict[str, object]]:
+    """Flatten a convergence curve into per-epoch rows."""
+    rows = []
+    for k in range(len(curve)):
+        rows.append(
+            {
+                "label": label or curve.label,
+                "epoch": curve.epochs[k],
+                "iterations": curve.iterations[k],
+                "wall_clock": curve.wall_clock[k],
+                "rmse": curve.rmse[k],
+                "error_rate": curve.error_rate[k],
+            }
+        )
+    return rows
+
+
+def render_figure_summary(panels, *, metric: str = "error_rate") -> str:
+    """One text block per figure panel: final/best metrics per solver plus annotations."""
+    blocks = []
+    for panel in panels:
+        rows = []
+        for solver, curve in sorted(panel.curves.items()):
+            rows.append(
+                {
+                    "solver": solver,
+                    "epochs": len(curve),
+                    "final_rmse": curve.final_rmse,
+                    "best_error_rate": curve.best_error_rate,
+                    "total_time": curve.total_time,
+                }
+            )
+        title = f"dataset={panel.dataset}  workers={panel.num_workers}"
+        block = format_table(rows, title=title)
+        if panel.annotations:
+            annot = ", ".join(f"{k}={_format_value(v)}" for k, v in sorted(panel.annotations.items()))
+            block += "\n  " + annot
+        blocks.append(block)
+    return "\n\n".join(blocks)
+
+
+def render_speedup_slices(slices) -> str:
+    """Text rendering of Figure-5 slices."""
+    rows = []
+    for sl in slices:
+        rows.append(
+            {
+                "dataset": sl.dataset,
+                "workers": sl.num_workers,
+                "baseline": sl.baseline,
+                "targets": len(sl.points),
+                "mean_speedup": sl.mean_speedup if sl.mean_speedup is not None else "n/a",
+            }
+        )
+    return format_table(rows, title="Figure 5: error-rate -> speedup slices")
+
+
+__all__ = [
+    "format_table",
+    "rows_to_csv",
+    "render_curve_rows",
+    "render_figure_summary",
+    "render_speedup_slices",
+]

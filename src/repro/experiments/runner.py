@@ -1,0 +1,167 @@
+"""Execution of experiment configurations.
+
+:class:`ExperimentRunner` turns :class:`~repro.experiments.configs.RunSpec`
+entries into trained :class:`~repro.metrics.tracing.RunRecord` objects.  A
+shared :class:`~repro.async_engine.cost_model.CostModel` is used for every
+run of one experiment so the simulated wall-clock axes of different solvers
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.async_engine.cost_model import CostModel
+from repro.core.balancing import BalancingDecision
+from repro.datasets.loader import Dataset, load_dataset
+from repro.experiments.configs import ExperimentConfig, RunSpec
+from repro.metrics.tracing import RunRecord
+from repro.objectives.registry import make_objective
+from repro.solvers.base import Problem
+from repro.solvers.registry import make_solver
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+
+LOGGER = get_logger("experiments.runner")
+
+
+def _coerce_solver_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Translate config-file-friendly values into the solver API types."""
+    out = dict(kwargs)
+    force = out.get("force_balancing")
+    if isinstance(force, str):
+        out["force_balancing"] = BalancingDecision(force)
+    return out
+
+
+def build_problem(
+    dataset: str,
+    *,
+    objective: str = "logistic_l1",
+    regularization: float = 1e-4,
+    seed: int = 0,
+) -> Problem:
+    """Load a dataset and wrap it into a :class:`~repro.solvers.base.Problem`."""
+    ds: Dataset = load_dataset(dataset, seed=seed)
+    obj = make_objective(objective, eta=regularization)
+    return Problem(X=ds.X, y=ds.y, objective=obj, name=dataset)
+
+
+def run_single(
+    spec: RunSpec,
+    *,
+    problem: Optional[Problem] = None,
+    objective: str = "logistic_l1",
+    regularization: float = 1e-4,
+    cost_model: Optional[CostModel] = None,
+) -> RunRecord:
+    """Execute one run spec and return its record."""
+    if problem is None:
+        problem = build_problem(
+            spec.dataset, objective=objective, regularization=regularization, seed=spec.seed
+        )
+    solver_kwargs = _coerce_solver_kwargs(spec.kwargs())
+    solver = make_solver(
+        spec.solver,
+        step_size=spec.step_size,
+        epochs=spec.epochs,
+        num_workers=spec.num_workers,
+        seed=spec.seed,
+        cost_model=cost_model,
+        **solver_kwargs,
+    )
+    timer = Timer()
+    with timer:
+        result = solver.fit(problem)
+    record = RunRecord(
+        solver=spec.solver,
+        dataset=spec.dataset,
+        num_workers=spec.num_workers,
+        curve=result.curve,
+        trace=result.trace,
+        info={**result.info, "measured_train_seconds": timer.elapsed, "step_size": spec.step_size},
+    )
+    LOGGER.info(
+        "run %s: best_error=%.4f final_rmse=%.4f sim_time=%.3fs wall=%.2fs",
+        record.label,
+        record.curve.best_error_rate,
+        record.curve.final_rmse,
+        record.curve.total_time,
+        timer.elapsed,
+    )
+    return record
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs every spec of an :class:`ExperimentConfig`, caching datasets and problems."""
+
+    config: ExperimentConfig
+    cost_model: CostModel = field(default_factory=CostModel)
+    records: List[RunRecord] = field(default_factory=list)
+    _problems: Dict[str, Problem] = field(default_factory=dict, repr=False)
+
+    def problem_for(self, dataset: str) -> Problem:
+        """The (cached) problem instance for ``dataset``."""
+        if dataset not in self._problems:
+            self._problems[dataset] = build_problem(
+                dataset,
+                objective=self.config.objective,
+                regularization=self.config.regularization,
+                seed=self.config.seed,
+            )
+        return self._problems[dataset]
+
+    def run(self) -> List[RunRecord]:
+        """Execute every run in the configuration (training runs only)."""
+        self.records = []
+        for spec in self.config.runs:
+            if spec.solver == "none":
+                continue
+            record = run_single(
+                spec,
+                problem=self.problem_for(spec.dataset),
+                cost_model=self.cost_model,
+            )
+            self.records.append(record)
+        return self.records
+
+    # ------------------------------------------------------------------ #
+    # Lookup helpers used by the figure builders
+    # ------------------------------------------------------------------ #
+    def find(
+        self,
+        *,
+        dataset: Optional[str] = None,
+        solver: Optional[str] = None,
+        num_workers: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """All records matching the given filters."""
+        out = []
+        for record in self.records:
+            if dataset is not None and record.dataset != dataset:
+                continue
+            if solver is not None and record.solver != solver:
+                continue
+            if num_workers is not None and record.num_workers != num_workers:
+                continue
+            out.append(record)
+        return out
+
+    def get(self, dataset: str, solver: str, num_workers: Optional[int] = None) -> RunRecord:
+        """Exactly one record matching the filters (raises when 0 or >1 match)."""
+        matches = self.find(dataset=dataset, solver=solver, num_workers=num_workers)
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one record for ({dataset}, {solver}, {num_workers}), "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Flat summary rows of every record (for the report renderer)."""
+        return [r.summary() for r in self.records]
+
+
+__all__ = ["ExperimentRunner", "run_single", "build_problem"]

@@ -1,0 +1,55 @@
+"""Greedy colouring of the conflict graph.
+
+A proper colouring of the conflict graph groups the samples into colour
+classes whose members never share a feature: updates within one class can
+be applied in parallel with *zero* conflicts.  This is not part of the
+paper's algorithm — it is the classical conflict-free alternative to
+Hogwild's "just race" approach — and is included as an extension used by
+the ablation benchmarks to quantify how far from conflict-free the
+lock-free execution really is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.conflict import build_conflict_graph
+from repro.sparse.csr import CSRMatrix
+
+
+def greedy_conflict_coloring(X: CSRMatrix, *, max_rows: int = 2000) -> Dict[int, int]:
+    """Colour the conflict graph greedily (largest-degree-first order).
+
+    Returns a mapping ``row -> colour``.  The number of distinct colours is
+    an upper bound on the chromatic number; for very sparse datasets it is
+    typically tiny, confirming the paper's premise that sufficiently sparse
+    data rarely conflicts.
+    """
+    import networkx as nx
+
+    graph = build_conflict_graph(X, max_rows=max_rows)
+    coloring = nx.coloring.greedy_color(graph, strategy="largest_first")
+    # Ensure every row (including isolated ones) has a colour.
+    for i in range(X.n_rows):
+        coloring.setdefault(i, 0)
+    return {int(k): int(v) for k, v in coloring.items()}
+
+
+def color_class_sizes(coloring: Dict[int, int]) -> List[int]:
+    """Sizes of the colour classes, sorted descending."""
+    if not coloring:
+        return []
+    counts = np.bincount(np.asarray(list(coloring.values()), dtype=np.int64))
+    return sorted((int(c) for c in counts if c > 0), reverse=True)
+
+
+def num_colors(coloring: Dict[int, int]) -> int:
+    """Number of distinct colours used."""
+    if not coloring:
+        return 0
+    return len(set(coloring.values()))
+
+
+__all__ = ["greedy_conflict_coloring", "color_class_sizes", "num_colors"]

@@ -1,0 +1,32 @@
+"""Evaluation metrics and convergence bookkeeping.
+
+The paper evaluates two metrics — "RMSE" (the square root of the objective
+value) and the misclassification error rate — against two x-axes: epochs
+(iterative convergence, Figure 3) and wall-clock seconds (absolute
+convergence, Figure 4).  Figure 5 derives error-rate→speedup slices from
+the absolute curves.  This package owns the curve container, the time-to-
+target interpolation and the speedup computations that produce those
+figures.
+"""
+
+from repro.metrics.convergence import ConvergenceCurve, EpochMetrics, MetricsRecorder
+from repro.metrics.speedup import (
+    SpeedupPoint,
+    average_speedup,
+    speedup_at_targets,
+    speedup_slices,
+    time_to_target,
+)
+from repro.metrics.tracing import RunRecord
+
+__all__ = [
+    "ConvergenceCurve",
+    "EpochMetrics",
+    "MetricsRecorder",
+    "SpeedupPoint",
+    "time_to_target",
+    "speedup_at_targets",
+    "speedup_slices",
+    "average_speedup",
+    "RunRecord",
+]

@@ -1,0 +1,134 @@
+"""Speedup computations for the absolute-convergence comparison.
+
+Figure 4 marks the wall-clock at which IS-ASGD reaches the *optimum* (best
+error rate) achieved by ASGD; Figure 5 generalises this into full
+error-rate→speedup slices for every concurrency.  Both reduce to the same
+primitive: the ratio of the times two curves need to reach the same target
+value, with linear interpolation between recorded epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.convergence import ConvergenceCurve
+
+
+@dataclass
+class SpeedupPoint:
+    """Speedup of ``fast`` over ``slow`` at one target metric value."""
+
+    target: float
+    time_fast: Optional[float]
+    time_slow: Optional[float]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """``time_slow / time_fast`` or ``None`` when either curve never reaches the target."""
+        if self.time_fast is None or self.time_slow is None or self.time_fast <= 0.0:
+            return None
+        return self.time_slow / self.time_fast
+
+
+def time_to_target(curve: ConvergenceCurve, target: float, *, metric: str = "error_rate") -> Optional[float]:
+    """Wall-clock at which ``curve`` first reaches ``target`` (running best, interpolated)."""
+    return curve.time_to_reach(target, metric=metric, axis="wall_clock")
+
+
+def speedup_at_targets(
+    fast: ConvergenceCurve,
+    slow: ConvergenceCurve,
+    targets: Sequence[float],
+    *,
+    metric: str = "error_rate",
+) -> List[SpeedupPoint]:
+    """Speedup of ``fast`` over ``slow`` at every target value in ``targets``."""
+    points = []
+    for target in targets:
+        points.append(
+            SpeedupPoint(
+                target=float(target),
+                time_fast=time_to_target(fast, float(target), metric=metric),
+                time_slow=time_to_target(slow, float(target), metric=metric),
+            )
+        )
+    return points
+
+
+def reachable_targets(
+    curves: Sequence[ConvergenceCurve],
+    *,
+    metric: str = "error_rate",
+    count: int = 12,
+    margin: float = 1e-9,
+) -> np.ndarray:
+    """Grid of target values every curve in ``curves`` actually reaches.
+
+    The grid spans from just below the worst starting value down to the best
+    value reached by *all* curves, so every produced target yields a finite
+    speedup.  Values are returned in decreasing-difficulty order (largest
+    first), matching the x-axes of Figure 5.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    best_common = max(c.best_error_rate if metric == "error_rate" else c.best_rmse for c in curves)
+    starts = [float(c.running_best(metric)[0]) for c in curves]
+    start_common = min(starts)
+    lo = best_common + margin
+    hi = max(start_common, lo * 1.0000001)
+    if hi <= lo:
+        return np.asarray([lo])
+    return np.linspace(hi, lo, count)
+
+
+def speedup_slices(
+    fast: ConvergenceCurve,
+    slow: ConvergenceCurve,
+    *,
+    metric: str = "error_rate",
+    count: int = 12,
+) -> List[SpeedupPoint]:
+    """The Figure-5 slice: speedups of ``fast`` over ``slow`` across the whole error-rate range."""
+    targets = reachable_targets([fast, slow], metric=metric, count=count)
+    return speedup_at_targets(fast, slow, targets, metric=metric)
+
+
+def average_speedup(points: Sequence[SpeedupPoint]) -> Optional[float]:
+    """Mean of the defined speedups in ``points`` (None when none are defined)."""
+    values = [p.speedup for p in points if p.speedup is not None]
+    if not values:
+        return None
+    return float(np.mean(values))
+
+
+def optimum_speedup(
+    fast: ConvergenceCurve,
+    slow: ConvergenceCurve,
+    *,
+    metric: str = "error_rate",
+) -> SpeedupPoint:
+    """The paper's headline comparison: time for ``fast`` to reach ``slow``'s optimum.
+
+    The target is the best (lowest) value the *slow* curve ever achieves —
+    the red-circle / blue-dot pair of Figure 4.
+    """
+    target = slow.best_error_rate if metric == "error_rate" else slow.best_rmse
+    return SpeedupPoint(
+        target=float(target),
+        time_fast=time_to_target(fast, float(target), metric=metric),
+        time_slow=time_to_target(slow, float(target), metric=metric),
+    )
+
+
+__all__ = [
+    "SpeedupPoint",
+    "time_to_target",
+    "speedup_at_targets",
+    "reachable_targets",
+    "speedup_slices",
+    "average_speedup",
+    "optimum_speedup",
+]

@@ -1,0 +1,67 @@
+"""Run-level records tying together configuration, curves and traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.async_engine.events import ExecutionTrace
+from repro.metrics.convergence import ConvergenceCurve
+
+
+@dataclass
+class RunRecord:
+    """Everything produced by one training run.
+
+    Attributes
+    ----------
+    solver:
+        Solver name (``"sgd"``, ``"asgd"``, ``"is_asgd"``, ``"svrg_asgd"``...).
+    dataset:
+        Dataset name.
+    num_workers:
+        Concurrency used (1 for serial solvers).
+    curve:
+        The convergence curve.
+    trace:
+        The execution trace (``None`` for serial solvers that do not go
+        through the asynchronous engine).
+    info:
+        Free-form extra data (balancing decision, ρ, ψ, timings, ...).
+    """
+
+    solver: str
+    dataset: str
+    num_workers: int
+    curve: ConvergenceCurve
+    trace: Optional[ExecutionTrace] = None
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier of the run."""
+        return f"{self.solver}[{self.dataset}, T={self.num_workers}]"
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat summary row used by reports."""
+        row: Dict[str, Any] = {
+            "solver": self.solver,
+            "dataset": self.dataset,
+            "num_workers": self.num_workers,
+            "epochs": len(self.curve),
+            "final_rmse": self.curve.final_rmse,
+            "best_error_rate": self.curve.best_error_rate,
+            "total_time": self.curve.total_time,
+        }
+        if self.trace is not None:
+            row["conflict_rate"] = self.trace.conflict_rate()
+            row["iterations"] = self.trace.total_iterations
+        for key, value in self.info.items():
+            if isinstance(value, (int, float, str, bool, np.integer, np.floating)):
+                row[key] = value
+        return row
+
+
+__all__ = ["RunRecord"]

@@ -1,0 +1,42 @@
+"""Objective-function substrate.
+
+Empirical-risk-minimisation objectives of the form
+
+    F(w) = (1/n) * sum_i f_i(w),      f_i(w) = phi_i(w) + eta * r(w)
+
+(Eq. 1-2 of the paper).  Each :class:`~repro.objectives.base.Objective`
+exposes per-sample losses, *index-compressed* per-sample gradients, full
+objective values, misclassification error and per-sample Lipschitz
+constants — everything the solvers, importance samplers and theory module
+need.
+"""
+
+from repro.objectives.base import Objective, SparseGradient
+from repro.objectives.regularizers import (
+    ElasticNetRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+    NoRegularizer,
+    Regularizer,
+)
+from repro.objectives.logistic import LogisticObjective
+from repro.objectives.squared_hinge import SquaredHingeObjective
+from repro.objectives.hinge import HingeObjective
+from repro.objectives.least_squares import LeastSquaresObjective
+from repro.objectives.registry import available_objectives, make_objective
+
+__all__ = [
+    "Objective",
+    "SparseGradient",
+    "Regularizer",
+    "NoRegularizer",
+    "L1Regularizer",
+    "L2Regularizer",
+    "ElasticNetRegularizer",
+    "LogisticObjective",
+    "SquaredHingeObjective",
+    "HingeObjective",
+    "LeastSquaresObjective",
+    "available_objectives",
+    "make_objective",
+]

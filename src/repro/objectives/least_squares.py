@@ -1,0 +1,66 @@
+"""Least-squares / ridge-regression objective.
+
+``f_i(w) = (1/2) (<x_i, w> - y_i)^2 (+ r(w))``.  Used in the test-suite as a
+problem with a closed-form optimum, and as the regression example
+application (the randomized-Kaczmarz connection referenced by the paper's
+importance-sampling citations is exactly weighted SGD on this objective).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.objectives.base import Objective
+from repro.objectives.regularizers import L2Regularizer
+from repro.sparse.csr import CSRMatrix
+
+
+class LeastSquaresObjective(Objective):
+    """Squared-error loss ``0.5 * (<x, w> - y)²`` with an optional regulariser."""
+
+    name = "least_squares"
+    is_classification = False
+
+    @classmethod
+    def ridge(cls, eta: float = 1e-4) -> "LeastSquaresObjective":
+        """Ridge regression: squared error + ``(eta/2) ||w||²``."""
+        return cls(regularizer=L2Regularizer(eta))
+
+    # -- scalar hot path ------------------------------------------------ #
+    def sample_loss(self, w: np.ndarray, x_idx: np.ndarray, x_val: np.ndarray, y: float) -> float:
+        resid = self.sample_margin(w, x_idx, x_val) - y
+        return 0.5 * resid * resid
+
+    def _loss_derivative(self, margin_or_pred: float, y: float) -> float:
+        return float(margin_or_pred - y)
+
+    # -- vectorised ------------------------------------------------------ #
+    def _vector_loss(self, margins: np.ndarray, y: np.ndarray) -> np.ndarray:
+        resid = margins - y
+        return 0.5 * resid * resid
+
+    def _vector_loss_derivative(self, margins: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return margins - y
+
+    # -- smoothness ------------------------------------------------------ #
+    def smoothness_coefficient(self) -> float:
+        """The squared error is 1-smooth in the prediction."""
+        return 1.0
+
+    # -- extras ----------------------------------------------------------- #
+    def solve_exact(self, X: CSRMatrix, y: np.ndarray) -> np.ndarray:
+        """Closed-form (regularised) least-squares solution, for testing.
+
+        Solves ``(X^T X / n + eta I) w = X^T y / n`` densely; intended only
+        for small problems in the test-suite.
+        """
+        dense = X.to_dense()
+        n = max(X.n_rows, 1)
+        gram = dense.T @ dense / n
+        eta = getattr(self.regularizer, "eta", 0.0) if isinstance(self.regularizer, L2Regularizer) else 0.0
+        gram += (eta + 1e-12) * np.eye(X.n_cols)
+        rhs = dense.T @ y / n
+        return np.linalg.solve(gram, rhs)
+
+
+__all__ = ["LeastSquaresObjective"]

@@ -1,0 +1,35 @@
+"""Solver family.
+
+Serial baselines (SGD, IS-SGD, SVRG, SAGA, full GD) and the asynchronous
+solvers (ASGD / Hogwild and SVRG-ASGD) the paper compares against.  The
+paper's own contribution, IS-ASGD, lives in :mod:`repro.core.is_asgd` and
+shares the same :class:`~repro.solvers.base.BaseSolver` interface.
+"""
+
+from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.results import TrainResult
+from repro.solvers.gd import GradientDescentSolver
+from repro.solvers.sgd import SGDSolver
+from repro.solvers.is_sgd import ISSGDSolver
+from repro.solvers.svrg import SVRGSolver
+from repro.solvers.saga import SAGASolver
+from repro.solvers.asgd import ASGDSolver
+from repro.solvers.svrg_asgd import SVRGASGDSolver
+from repro.solvers.minibatch import MiniBatchSGDSolver
+from repro.solvers.registry import available_solvers, make_solver
+
+__all__ = [
+    "BaseSolver",
+    "Problem",
+    "TrainResult",
+    "GradientDescentSolver",
+    "SGDSolver",
+    "ISSGDSolver",
+    "SVRGSolver",
+    "SAGASolver",
+    "ASGDSolver",
+    "SVRGASGDSolver",
+    "MiniBatchSGDSolver",
+    "available_solvers",
+    "make_solver",
+]

@@ -1,0 +1,192 @@
+"""Asynchronous SGD (Hogwild-style), the paper's acceleration target.
+
+The solver partitions the data uniformly across ``num_workers`` simulated
+workers, each of which samples uniformly from its local shard; the shared
+model is updated lock-free through the perturbed-iterate simulator.  A real
+``threading`` backend can be selected for functional validation (see
+:mod:`repro.async_engine.threads`), but the figures use the simulator so
+that the delay τ is a controlled parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.async_engine.simulator import AsyncSimulator
+from repro.async_engine.staleness import StalenessModel, UniformDelay
+from repro.async_engine.worker import build_workers
+from repro.core.balancing import random_order
+from repro.core.partition import partition_dataset
+from repro.objectives.base import Objective
+from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.results import TrainResult
+from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass
+class SparseSGDUpdateRule:
+    """SGD-style update computed from a stale coordinate view.
+
+    The rule reconstructs the perturbed iterate on the sample support,
+    evaluates the loss derivative there and returns the index-compressed
+    delta ``-λ * weight * ∇f_i(ŵ)``.
+    """
+
+    objective: Objective
+    step_size: float
+
+    def compute_update(
+        self,
+        stale_coords: np.ndarray,
+        x_idx: np.ndarray,
+        x_val: np.ndarray,
+        y: float,
+        step_weight: float,
+    ) -> Tuple[np.ndarray, int]:
+        margin = float(np.dot(x_val, stale_coords)) if x_idx.size else 0.0
+        coef = self.objective._loss_derivative(margin, y)
+        values = coef * x_val
+        reg = self.objective.regularizer
+        if x_idx.size and type(reg).__name__ != "NoRegularizer":
+            # Separable regularisers only depend on the coordinate values, so
+            # the stale view of the support is all that is needed.
+            proxy = np.ascontiguousarray(stale_coords, dtype=np.float64)
+            values = values + reg.grad_coords(proxy, np.arange(proxy.shape[0]))
+        delta = -self.step_size * step_weight * values
+        return delta, 0
+
+
+class ASGDSolver(BaseSolver):
+    """Hogwild-style asynchronous SGD with uniform sampling.
+
+    Parameters
+    ----------
+    num_workers:
+        Degree of simulated concurrency (the paper's thread count).
+    staleness:
+        Delay model; defaults to ``UniformDelay(num_workers)``, matching the
+        assumption that the maximum delay is proportional to concurrency.
+    backend:
+        ``"simulated"`` (default) runs the perturbed-iterate simulator;
+        ``"threads"`` runs the real lock-free threading backend (functional
+        validation only — the GIL prevents real speedup).
+    """
+
+    name = "asgd"
+
+    def __init__(
+        self,
+        *,
+        step_size: float = 0.1,
+        epochs: int = 10,
+        num_workers: int = 4,
+        seed: RandomState = 0,
+        cost_model=None,
+        record_every: int = 1,
+        staleness: Optional[StalenessModel] = None,
+        backend: str = "simulated",
+    ) -> None:
+        super().__init__(step_size=step_size, epochs=epochs, seed=seed,
+                         cost_model=cost_model, record_every=record_every)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if backend not in {"simulated", "threads"}:
+            raise ValueError("backend must be 'simulated' or 'threads'")
+        self.num_workers = int(num_workers)
+        self.staleness = staleness
+        self.backend = backend
+
+    @property
+    def parallel_workers(self) -> int:
+        return self.num_workers
+
+    # ------------------------------------------------------------------ #
+    def _build_partition(self, problem: Problem, rng: np.random.Generator):
+        order = random_order(problem.n_samples, seed=rng)
+        # Uniform scheme: plain ASGD samples uniformly from its local shard.
+        return partition_dataset(order, problem.lipschitz_constants(), self.num_workers,
+                                 scheme="uniform")
+
+    def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
+        """Run asynchronous SGD on ``problem``."""
+        rng = as_rng(self.seed)
+        if self.backend == "threads":
+            return self._fit_threads(problem, rng, initial_weights)
+        return self._fit_simulated(problem, rng, initial_weights)
+
+    # ------------------------------------------------------------------ #
+    def _fit_simulated(self, problem: Problem, rng, initial_weights) -> TrainResult:
+        partition = self._build_partition(problem, rng)
+        iterations_per_worker = max(1, problem.n_samples // self.num_workers)
+        workers = build_workers(
+            partition,
+            iterations_per_worker,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            importance_sampling=False,
+        )
+        rule = SparseSGDUpdateRule(objective=problem.objective, step_size=self.step_size)
+        staleness = self.staleness or UniformDelay(max(self.num_workers - 1, 0))
+        simulator = AsyncSimulator(
+            X=problem.X,
+            y=problem.y,
+            workers=workers,
+            update_rule=rule,
+            staleness=staleness,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        sim_result = simulator.run(self.epochs, initial_weights=initial_weights,
+                                   keep_epoch_weights=True)
+        info = {
+            "backend": "simulated",
+            "num_workers": self.num_workers,
+            "max_delay": staleness.max_delay,
+            "conflict_rate": sim_result.trace.conflict_rate(),
+        }
+        return self._finalize(
+            problem,
+            sim_result.epoch_weights or [sim_result.weights],
+            sim_result.trace,
+            include_sampling=False,
+            info=info,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _fit_threads(self, problem: Problem, rng, initial_weights) -> TrainResult:
+        from repro.async_engine.events import EpochEvent, ExecutionTrace
+        from repro.async_engine.threads import HogwildThreadPool
+
+        partition = self._build_partition(problem, rng)
+        pool = HogwildThreadPool(
+            problem.X,
+            problem.y,
+            problem.objective,
+            partition,
+            step_size=self.step_size,
+            importance_sampling=False,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        if initial_weights is not None:
+            pool.weights[:] = initial_weights
+        iterations_per_worker = max(1, problem.n_samples // self.num_workers)
+
+        trace = ExecutionTrace()
+        weights_by_epoch = []
+        avg_nnz = problem.X.nnz / max(problem.n_samples, 1)
+
+        def callback(epoch: int, weights: np.ndarray) -> None:
+            event = EpochEvent(epoch=epoch)
+            total_iters = iterations_per_worker * self.num_workers
+            event.iterations = total_iters
+            event.sparse_coordinate_updates = int(total_iters * avg_nnz)
+            trace.add_epoch(event)
+            weights_by_epoch.append(weights)
+
+        pool.run(self.epochs, iterations_per_worker, epoch_callback=callback)
+        info = {"backend": "threads", "num_workers": self.num_workers}
+        return self._finalize(problem, weights_by_epoch, trace, include_sampling=False, info=info)
+
+
+__all__ = ["ASGDSolver", "SparseSGDUpdateRule"]

@@ -1,0 +1,181 @@
+"""Solver base class and the problem container.
+
+A :class:`Problem` bundles the design matrix, labels and objective; a
+:class:`BaseSolver` trains a model on it and returns a
+:class:`~repro.solvers.results.TrainResult` whose convergence curve carries
+both the iterative (epoch) and absolute (simulated wall-clock) x-axes.
+The wall-clock is produced by the shared
+:class:`~repro.async_engine.cost_model.CostModel`, so serial and
+asynchronous solvers are directly comparable — exactly the comparison the
+paper's Figure 4 makes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.async_engine.cost_model import CostModel
+from repro.async_engine.events import EpochEvent, ExecutionTrace
+from repro.metrics.convergence import MetricsRecorder
+from repro.objectives.base import Objective
+from repro.solvers.results import TrainResult
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import RandomState
+
+
+@dataclass
+class Problem:
+    """A finite-sum optimisation problem instance.
+
+    Attributes
+    ----------
+    X, y:
+        Design matrix and labels/targets.
+    objective:
+        The loss (including its regulariser).
+    name:
+        Used in labels and reports.
+    lipschitz:
+        Optional cached per-sample Lipschitz constants; computed lazily by
+        :meth:`lipschitz_constants` when absent.
+    """
+
+    X: CSRMatrix
+    y: np.ndarray
+    objective: Objective
+    name: str = "problem"
+    lipschitz: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.y = np.ascontiguousarray(self.y, dtype=np.float64)
+        if self.y.shape[0] != self.X.n_rows:
+            raise ValueError(
+                f"label count {self.y.shape[0]} does not match sample count {self.X.n_rows}"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of training samples."""
+        return self.X.n_rows
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the model."""
+        return self.X.n_cols
+
+    def lipschitz_constants(self) -> np.ndarray:
+        """Per-sample Lipschitz constants (cached)."""
+        if self.lipschitz is None:
+            self.lipschitz = self.objective.lipschitz_constants(self.X, self.y)
+        return self.lipschitz
+
+    def recorder(self, label: str = "") -> MetricsRecorder:
+        """A metrics recorder evaluating on the full training set."""
+        return MetricsRecorder(self.objective, self.X, self.y, label=label)
+
+
+class BaseSolver(ABC):
+    """Common machinery shared by all solvers.
+
+    Parameters
+    ----------
+    step_size:
+        Base step size λ.
+    epochs:
+        Number of passes over the data.
+    seed:
+        Master seed.
+    cost_model:
+        The cost model translating operation counts into simulated seconds;
+        a shared default instance is used when omitted so that all solvers
+        in one experiment are priced identically.
+    """
+
+    #: Name used in curve labels, registries and reports.
+    name: str = "base"
+
+    def __init__(
+        self,
+        *,
+        step_size: float = 0.1,
+        epochs: int = 10,
+        seed: RandomState = 0,
+        cost_model: Optional[CostModel] = None,
+        record_every: int = 1,
+    ) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if record_every < 1:
+            raise ValueError("record_every must be >= 1")
+        self.step_size = float(step_size)
+        self.epochs = int(epochs)
+        self.seed = seed
+        self.cost_model = cost_model or CostModel()
+        self.record_every = int(record_every)
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def fit(self, problem: Problem, **kwargs) -> TrainResult:
+        """Train on ``problem`` and return the result."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by the concrete solvers
+    # ------------------------------------------------------------------ #
+    @property
+    def parallel_workers(self) -> int:
+        """How many workers share the epoch's work (1 for serial solvers)."""
+        return 1
+
+    def _finalize(
+        self,
+        problem: Problem,
+        weights_by_epoch: list[np.ndarray],
+        trace: ExecutionTrace,
+        *,
+        label: Optional[str] = None,
+        info: Optional[Dict[str, Any]] = None,
+        include_sampling: bool = True,
+    ) -> TrainResult:
+        """Turn epoch snapshots + trace into a :class:`TrainResult`.
+
+        Evaluates the metrics for every recorded epoch and prices the trace
+        with the cost model.
+        """
+        recorder = problem.recorder(label=label or f"{self.name}[{problem.name}]")
+        wall = self.cost_model.trace_wall_clock(
+            trace, self.parallel_workers, include_sampling=include_sampling
+        )
+        iterations = np.cumsum([e.iterations for e in trace.epochs])
+        for k, weights in enumerate(weights_by_epoch):
+            epoch = trace.epochs[k].epoch
+            if (epoch % self.record_every) and (k != len(weights_by_epoch) - 1):
+                continue
+            recorder.record(
+                epoch=epoch,
+                iterations=int(iterations[k]),
+                wall_clock=float(wall[k]),
+                weights=weights,
+            )
+        final_weights = weights_by_epoch[-1]
+        return TrainResult(
+            solver=self.name,
+            weights=final_weights,
+            curve=recorder.curve,
+            trace=trace,
+            info=dict(info or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(step_size={self.step_size}, epochs={self.epochs}, "
+            f"seed={self.seed!r})"
+        )
+
+
+__all__ = ["Problem", "BaseSolver"]

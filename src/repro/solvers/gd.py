@@ -1,0 +1,70 @@
+"""Full-batch gradient descent.
+
+Included as a deterministic reference solver: it is what SVRG's full
+gradient snapshot computes once per epoch, and the test-suite uses it to
+obtain near-optimal objective values that the stochastic solvers should
+approach.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.async_engine.events import EpochEvent, ExecutionTrace
+from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.results import TrainResult
+
+
+class GradientDescentSolver(BaseSolver):
+    """Deterministic full-gradient descent with optional simple backtracking."""
+
+    name = "gd"
+
+    def __init__(self, *, step_size: float = 0.5, epochs: int = 50, seed=0,
+                 cost_model=None, record_every: int = 1, backtracking: bool = True) -> None:
+        super().__init__(step_size=step_size, epochs=epochs, seed=seed,
+                         cost_model=cost_model, record_every=record_every)
+        self.backtracking = bool(backtracking)
+
+    def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
+        """Run ``epochs`` full-gradient steps."""
+        X, y, obj = problem.X, problem.y, problem.objective
+        w = (
+            np.zeros(problem.n_features)
+            if initial_weights is None
+            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
+        )
+        trace = ExecutionTrace()
+        weights_by_epoch = []
+        step = self.step_size
+        prev_loss = obj.full_loss(w, X, y)
+
+        for epoch in range(self.epochs):
+            event = EpochEvent(epoch=epoch)
+            grad = obj.full_gradient(w, X, y)
+            candidate = w - step * grad
+            loss = obj.full_loss(candidate, X, y)
+            if self.backtracking:
+                # Halve the step until the objective stops increasing (at most a few times).
+                tries = 0
+                while loss > prev_loss and tries < 8:
+                    step *= 0.5
+                    candidate = w - step * grad
+                    loss = obj.full_loss(candidate, X, y)
+                    tries += 1
+            w = candidate
+            prev_loss = loss
+            # One full gradient touches every stored non-zero once plus a dense update.
+            event.merge_iteration(
+                grad_nnz=X.nnz, dense_coords=X.n_cols, conflicts=0, delay=0, drew_sample=False
+            )
+            trace.add_epoch(event)
+            weights_by_epoch.append(w.copy())
+
+        return self._finalize(problem, weights_by_epoch, trace, include_sampling=False,
+                              info={"final_step": step})
+
+
+__all__ = ["GradientDescentSolver"]

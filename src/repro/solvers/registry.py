@@ -1,0 +1,110 @@
+"""Name-based solver factory used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.solvers.base import BaseSolver
+
+
+def _make_sgd(**kwargs) -> BaseSolver:
+    from repro.solvers.sgd import SGDSolver
+
+    kwargs.pop("num_workers", None)
+    return SGDSolver(**kwargs)
+
+
+def _make_is_sgd(**kwargs) -> BaseSolver:
+    from repro.solvers.is_sgd import ISSGDSolver
+
+    kwargs.pop("num_workers", None)
+    return ISSGDSolver(**kwargs)
+
+
+def _make_gd(**kwargs) -> BaseSolver:
+    from repro.solvers.gd import GradientDescentSolver
+
+    kwargs.pop("num_workers", None)
+    return GradientDescentSolver(**kwargs)
+
+
+def _make_svrg(**kwargs) -> BaseSolver:
+    from repro.solvers.svrg import SVRGSolver
+
+    kwargs.pop("num_workers", None)
+    return SVRGSolver(**kwargs)
+
+
+def _make_saga(**kwargs) -> BaseSolver:
+    from repro.solvers.saga import SAGASolver
+
+    kwargs.pop("num_workers", None)
+    return SAGASolver(**kwargs)
+
+
+def _make_asgd(**kwargs) -> BaseSolver:
+    from repro.solvers.asgd import ASGDSolver
+
+    return ASGDSolver(**kwargs)
+
+
+def _make_svrg_asgd(**kwargs) -> BaseSolver:
+    from repro.solvers.svrg_asgd import SVRGASGDSolver
+
+    return SVRGASGDSolver(**kwargs)
+
+
+def _make_is_asgd(**kwargs) -> BaseSolver:
+    from repro.core.is_asgd import ISASGDSolver
+
+    cost_model = kwargs.pop("cost_model", None)
+    return ISASGDSolver(cost_model=cost_model, **kwargs)
+
+
+def _make_minibatch_sgd(**kwargs) -> BaseSolver:
+    from repro.solvers.minibatch import MiniBatchSGDSolver
+
+    kwargs.pop("num_workers", None)
+    return MiniBatchSGDSolver(**kwargs)
+
+
+_FACTORIES: Dict[str, Callable[..., BaseSolver]] = {
+    "sgd": _make_sgd,
+    "is_sgd": _make_is_sgd,
+    "gd": _make_gd,
+    "svrg": _make_svrg,
+    "saga": _make_saga,
+    "asgd": _make_asgd,
+    "svrg_asgd": _make_svrg_asgd,
+    "is_asgd": _make_is_asgd,
+    "minibatch_sgd": _make_minibatch_sgd,
+}
+
+
+def available_solvers() -> List[str]:
+    """Names accepted by :func:`make_solver`."""
+    return sorted(_FACTORIES)
+
+
+def make_solver(name: str, **kwargs: Any) -> BaseSolver:
+    """Instantiate a solver by name.
+
+    Keyword arguments are forwarded to the solver constructor; serial
+    solvers silently ignore ``num_workers`` so experiment configurations can
+    pass a uniform parameter set to every algorithm in a comparison.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_solver(name: str, factory: Callable[..., BaseSolver]) -> None:
+    """Register a custom solver factory (overwrites an existing name)."""
+    _FACTORIES[name] = factory
+
+
+__all__ = ["available_solvers", "make_solver", "register_solver"]

@@ -1,0 +1,81 @@
+"""Training results returned by every solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.async_engine.events import ExecutionTrace
+from repro.metrics.convergence import ConvergenceCurve
+
+
+@dataclass
+class TrainResult:
+    """The outcome of one ``solver.fit(problem)`` call.
+
+    Attributes
+    ----------
+    solver:
+        Name of the solver that produced the result.
+    weights:
+        Final model weights.
+    curve:
+        Per-epoch convergence curve (RMSE, error rate, simulated
+        wall-clock).
+    trace:
+        Execution trace with operation counts and conflicts; serial solvers
+        also produce one (with zero conflicts) so the cost model can assign
+        them a wall-clock on the same footing.
+    info:
+        Solver-specific extras: balancing decision, ρ, sampling overhead,
+        measured training time, ...
+    """
+
+    solver: str
+    weights: np.ndarray
+    curve: ConvergenceCurve
+    trace: Optional[ExecutionTrace] = None
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_rmse(self) -> float:
+        """RMSE of the last recorded epoch."""
+        return self.curve.final_rmse
+
+    @property
+    def final_error_rate(self) -> float:
+        """Error rate of the last recorded epoch."""
+        return self.curve.final_error_rate
+
+    @property
+    def best_error_rate(self) -> float:
+        """Best (lowest) error rate reached during training."""
+        return self.curve.best_error_rate
+
+    @property
+    def total_time(self) -> float:
+        """Simulated wall-clock of the full run."""
+        return self.curve.total_time
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat summary dict for reports and tests."""
+        row: Dict[str, Any] = {
+            "solver": self.solver,
+            "epochs": len(self.curve),
+            "final_rmse": self.final_rmse,
+            "final_error_rate": self.final_error_rate,
+            "best_error_rate": self.best_error_rate,
+            "total_time": self.total_time,
+        }
+        if self.trace is not None:
+            row["iterations"] = self.trace.total_iterations
+            row["conflict_rate"] = self.trace.conflict_rate()
+        for key, value in self.info.items():
+            if isinstance(value, (int, float, str, bool, np.integer, np.floating)):
+                row[key] = value
+        return row
+
+
+__all__ = ["TrainResult"]

@@ -1,0 +1,44 @@
+"""Convergence-theory utilities.
+
+Implements the quantities used in Sections 2-3 of the paper: gradient
+variance under arbitrary sampling distributions (Eq. 4/10), the IS and
+uniform SGD convergence bounds (Eq. 13/14), the ψ ratio (Eq. 15), and the
+IS-ASGD iteration-complexity bound with its delay condition (Eq. 26-27).
+These functions are evaluated numerically on the surrogate datasets by the
+theory benchmark to check that the *predicted* ordering of the algorithms
+matches the measured one.
+"""
+
+from repro.theory.lipschitz import (
+    average_lipschitz,
+    lipschitz_constants,
+    lipschitz_summary,
+)
+from repro.theory.variance import (
+    gradient_variance,
+    importance_sampling_variance,
+    variance_reduction_ratio,
+)
+from repro.theory.bounds import (
+    BoundComparison,
+    compare_bounds,
+    is_asgd_iteration_bound,
+    is_sgd_convergence_bound,
+    sgd_convergence_bound,
+    tau_bound,
+)
+
+__all__ = [
+    "lipschitz_constants",
+    "average_lipschitz",
+    "lipschitz_summary",
+    "gradient_variance",
+    "importance_sampling_variance",
+    "variance_reduction_ratio",
+    "sgd_convergence_bound",
+    "is_sgd_convergence_bound",
+    "is_asgd_iteration_bound",
+    "tau_bound",
+    "BoundComparison",
+    "compare_bounds",
+]

@@ -1,0 +1,215 @@
+"""Convergence bounds of Sections 2.2 and 3 of the paper.
+
+All bounds are returned as plain floats so the benchmark harness can print
+side-by-side "predicted vs measured" comparisons.  The absolute constants
+in such bounds are loose by design; what the reproduction checks is the
+*ordering and ratio structure* (IS bound ≤ uniform bound, ratio governed by
+ψ, delay condition growing with sparsity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_array_1d, check_positive
+
+
+def sgd_convergence_bound(
+    lipschitz: np.ndarray,
+    distance_sq: float,
+    sigma: float,
+    iterations: int,
+) -> float:
+    """Uniform-sampling SGD bound of Eq. 14.
+
+    ``(1/T) Σ E[F(w_t) - F(w*)] <= sqrt( ||w* - w0||² Σ L_i² / (σ n) ) / T``
+    — evaluated with the paper's choice of step size.
+    """
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    check_positive(distance_sq, "distance_sq", strict=False)
+    check_positive(sigma, "sigma")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    n = L.size
+    value = np.sqrt(distance_sq * float(np.sum(L**2)) / (sigma * n))
+    return float(value) / iterations
+
+
+def is_sgd_convergence_bound(
+    lipschitz: np.ndarray,
+    distance_sq: float,
+    sigma: float,
+    iterations: int,
+) -> float:
+    """Importance-sampling SGD bound of Eq. 13.
+
+    ``(1/T) Σ E[F(w_t) - F(w*)] <= sqrt( ||w* - w0||² / σ ) (Σ L_i / n) / T``.
+    """
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    check_positive(distance_sq, "distance_sq", strict=False)
+    check_positive(sigma, "sigma")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    value = np.sqrt(distance_sq / sigma) * float(L.mean())
+    return float(value) / iterations
+
+
+def bound_improvement_ratio(lipschitz: np.ndarray) -> float:
+    """Ratio (IS bound) / (uniform bound) = sqrt(ψ) ≤ 1 (Cauchy–Schwarz)."""
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    denom = float(np.sqrt(np.mean(L**2)))
+    if denom == 0.0:
+        return 1.0
+    return float(L.mean()) / denom
+
+
+def is_sgd_iteration_bound(
+    lipschitz: np.ndarray,
+    mu: float,
+    sigma_sq: float,
+    epsilon: float,
+    epsilon0: float,
+) -> float:
+    """IS-SGD iteration complexity (Eq. 29): average-Lipschitz dependence."""
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    check_positive(mu, "mu")
+    check_positive(epsilon, "epsilon")
+    check_positive(epsilon0, "epsilon0")
+    mean_L = float(L.mean())
+    inf_L = float(max(L.min(), 1e-12))
+    return 2.0 * np.log(max(epsilon0 / epsilon, 1.0 + 1e-12)) * (
+        mean_L / mu + (mean_L / inf_L) * sigma_sq / (mu**2 * epsilon)
+    )
+
+
+def sgd_iteration_bound(
+    lipschitz: np.ndarray,
+    mu: float,
+    sigma_sq: float,
+    epsilon: float,
+    epsilon0: float,
+) -> float:
+    """Uniform SGD iteration complexity (Eq. 28): supremum-Lipschitz dependence."""
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    check_positive(mu, "mu")
+    check_positive(epsilon, "epsilon")
+    check_positive(epsilon0, "epsilon0")
+    sup_L = float(L.max())
+    return 2.0 * np.log(max(epsilon0 / epsilon, 1.0 + 1e-12)) * (
+        sup_L / mu + sigma_sq / (mu**2 * epsilon)
+    )
+
+
+def is_asgd_iteration_bound(
+    lipschitz: np.ndarray,
+    mu: float,
+    sigma_sq: float,
+    epsilon: float,
+    epsilon0: float,
+    *,
+    order_constant: float = 1.0,
+) -> float:
+    """IS-ASGD iteration complexity (Eq. 26 / Lemma 2).
+
+    The asynchronous noise term only contributes an order-wise constant when
+    the delay condition of Eq. 27 holds, so the bound is the IS-SGD bound
+    multiplied by ``order_constant`` (= O(1)).
+    """
+    check_positive(order_constant, "order_constant")
+    return order_constant * is_sgd_iteration_bound(lipschitz, mu, sigma_sq, epsilon, epsilon0)
+
+
+def tau_bound(
+    lipschitz: np.ndarray,
+    mu: float,
+    sigma_sq: float,
+    epsilon: float,
+    *,
+    n: Optional[int] = None,
+    average_conflict_degree: float = 1.0,
+) -> float:
+    """The maximum admissible delay τ of Eq. 27.
+
+    ``τ = O(min{ n / Δ̄, (ε µ sup L + σ²) / (ε µ²) })`` — the first argument
+    is structural (dataset sparsity), the second optimisation-theoretic.
+    """
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    check_positive(mu, "mu")
+    check_positive(epsilon, "epsilon")
+    n_val = int(n) if n is not None else L.size
+    structural = float("inf") if average_conflict_degree <= 0 else n_val / average_conflict_degree
+    analytic = (epsilon * mu * float(L.max()) + sigma_sq) / (epsilon * mu**2)
+    return float(min(structural, analytic))
+
+
+@dataclass
+class BoundComparison:
+    """Side-by-side convergence-bound comparison for one dataset."""
+
+    psi: float
+    uniform_bound: float
+    is_bound: float
+    uniform_iterations: float
+    is_iterations: float
+    tau_limit: float
+
+    @property
+    def bound_ratio(self) -> float:
+        """IS bound divided by the uniform bound (≤ 1)."""
+        if self.uniform_bound == 0.0:
+            return 1.0
+        return self.is_bound / self.uniform_bound
+
+    @property
+    def iteration_ratio(self) -> float:
+        """IS iteration complexity divided by the uniform one (≤ 1 + o(1))."""
+        if self.uniform_iterations == 0.0:
+            return 1.0
+        return self.is_iterations / self.uniform_iterations
+
+
+def compare_bounds(
+    lipschitz: np.ndarray,
+    *,
+    distance_sq: float = 1.0,
+    sigma: float = 1.0,
+    iterations: int = 1000,
+    mu: float = 1e-2,
+    epsilon: float = 1e-3,
+    epsilon0: float = 1.0,
+    average_conflict_degree: float = 1.0,
+) -> BoundComparison:
+    """Evaluate every bound for one Lipschitz spectrum (used by the theory benchmark)."""
+    from repro.sparse.stats import psi as psi_fn
+
+    sigma_sq = sigma**2
+    return BoundComparison(
+        psi=psi_fn(lipschitz),
+        uniform_bound=sgd_convergence_bound(lipschitz, distance_sq, sigma, iterations),
+        is_bound=is_sgd_convergence_bound(lipschitz, distance_sq, sigma, iterations),
+        uniform_iterations=sgd_iteration_bound(lipschitz, mu, sigma_sq, epsilon, epsilon0),
+        is_iterations=is_sgd_iteration_bound(lipschitz, mu, sigma_sq, epsilon, epsilon0),
+        tau_limit=tau_bound(
+            lipschitz,
+            mu,
+            sigma_sq,
+            epsilon,
+            average_conflict_degree=average_conflict_degree,
+        ),
+    )
+
+
+__all__ = [
+    "sgd_convergence_bound",
+    "is_sgd_convergence_bound",
+    "bound_improvement_ratio",
+    "sgd_iteration_bound",
+    "is_sgd_iteration_bound",
+    "is_asgd_iteration_bound",
+    "tau_bound",
+    "BoundComparison",
+    "compare_bounds",
+]

@@ -1,0 +1,82 @@
+"""Per-sample Lipschitz constants and their summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.objectives.base import Objective
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_array_1d
+
+
+def lipschitz_constants(objective: Objective, X: CSRMatrix, y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-sample gradient Lipschitz constants ``L_i`` of ``objective`` on ``X``.
+
+    Thin functional wrapper around ``objective.lipschitz_constants`` so the
+    theory module can be used without holding an objective instance at every
+    call site.
+    """
+    return objective.lipschitz_constants(X, y)
+
+
+def average_lipschitz(lipschitz: np.ndarray) -> float:
+    """The average constant ``L̄`` that the IS bound depends on."""
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    return float(L.mean())
+
+
+def sup_lipschitz(lipschitz: np.ndarray) -> float:
+    """The supremum constant ``sup L`` that the uniform-SGD bound depends on."""
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    return float(L.max())
+
+
+def inf_lipschitz(lipschitz: np.ndarray, *, floor: float = 1e-12) -> float:
+    """The infimum constant ``inf L`` appearing in Eq. 26 (floored away from zero)."""
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    return float(max(L.min(), floor))
+
+
+@dataclass
+class LipschitzSummary:
+    """Summary statistics of the Lipschitz spectrum of a dataset."""
+
+    n: int
+    mean: float
+    sup: float
+    inf: float
+    std: float
+    psi: float
+
+    @property
+    def sup_over_mean(self) -> float:
+        """How much worse the uniform bound's constant is than the IS bound's."""
+        return self.sup / self.mean if self.mean > 0 else float("inf")
+
+
+def lipschitz_summary(lipschitz: np.ndarray) -> LipschitzSummary:
+    """Compute all the Lipschitz statistics used across the theory module."""
+    from repro.sparse.stats import psi
+
+    L = check_array_1d(lipschitz, "lipschitz", min_len=1)
+    return LipschitzSummary(
+        n=int(L.size),
+        mean=float(L.mean()),
+        sup=float(L.max()),
+        inf=float(max(L.min(), 1e-12)),
+        std=float(L.std()),
+        psi=psi(L),
+    )
+
+
+__all__ = [
+    "lipschitz_constants",
+    "average_lipschitz",
+    "sup_lipschitz",
+    "inf_lipschitz",
+    "LipschitzSummary",
+    "lipschitz_summary",
+]

@@ -1,0 +1,63 @@
+"""Logging configuration for the library.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so that applications embedding it can
+decide how (and whether) messages are emitted.  :func:`enable_console_logging`
+is a convenience for the example scripts and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger inside the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Optional suffix; ``get_logger("solvers")`` returns the logger
+        ``repro.solvers``.  ``None`` returns the package root logger.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stream handler to the package logger (idempotent).
+
+    Returns the handler so callers (mostly tests) can remove it again.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) and getattr(handler, "_repro_console", False):
+            handler.setLevel(level)
+            logger.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+    handler.setLevel(level)
+    handler._repro_console = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+def disable_console_logging() -> None:
+    """Remove any console handler previously added by :func:`enable_console_logging`."""
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_console", False):
+            logger.removeHandler(handler)
+
+
+__all__ = ["get_logger", "enable_console_logging", "disable_console_logging"]

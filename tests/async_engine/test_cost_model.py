@@ -1,0 +1,114 @@
+"""Tests for the simulated wall-clock cost model."""
+
+import numpy as np
+import pytest
+
+from repro.async_engine.cost_model import CostModel, CostParameters
+from repro.async_engine.events import EpochEvent, ExecutionTrace
+
+
+def _epoch(iterations=100, sparse=1000, dense=0, conflicts=0, draws=100):
+    e = EpochEvent(epoch=0)
+    e.iterations = iterations
+    e.sparse_coordinate_updates = sparse
+    e.dense_coordinate_updates = dense
+    e.conflicts = conflicts
+    e.sample_draws = draws
+    return e
+
+
+class TestCostParameters:
+    def test_defaults_valid(self):
+        CostParameters()
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            CostParameters(base_parallel_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CostParameters(base_parallel_efficiency=1.5)
+
+    def test_invalid_costs(self):
+        with pytest.raises(ValueError):
+            CostParameters(sparse_coord_cost=0.0)
+
+
+class TestIterationCosts:
+    def test_sparse_cost_scales_with_nnz(self):
+        cm = CostModel()
+        assert cm.iteration_compute_time(100) > cm.iteration_compute_time(10)
+
+    def test_dense_term_dominates_for_sparse_data(self):
+        """The Figure-1 argument: a dense update is orders of magnitude pricier."""
+        cm = CostModel()
+        sparse_iter = cm.iteration_compute_time(grad_nnz=20, dense_coords=0, sample_draws=0)
+        dense_iter = cm.iteration_compute_time(grad_nnz=20, dense_coords=1_000_000, sample_draws=0)
+        assert dense_iter / sparse_iter > 100.0
+
+    def test_sparse_dense_cost_ratio_grows_with_dim(self):
+        cm = CostModel()
+        assert cm.sparse_dense_cost_ratio(20, 10_000_000) > cm.sparse_dense_cost_ratio(20, 10_000)
+
+
+class TestEpochWallClock:
+    def test_serial_equals_sum(self):
+        cm = CostModel()
+        e = _epoch()
+        assert cm.epoch_wall_clock(e, num_workers=1) == pytest.approx(cm.epoch_serial_time(e))
+
+    def test_parallel_is_faster(self):
+        cm = CostModel()
+        e = _epoch()
+        assert cm.epoch_wall_clock(e, num_workers=8) < cm.epoch_wall_clock(e, num_workers=1)
+
+    def test_near_linear_scaling_without_conflicts(self):
+        cm = CostModel()
+        e = _epoch(conflicts=0)
+        t1 = cm.epoch_wall_clock(e, num_workers=1)
+        t16 = cm.epoch_wall_clock(e, num_workers=16)
+        speedup = t1 / t16
+        assert 0.8 * 16 * cm.params.base_parallel_efficiency <= speedup <= 16.0
+
+    def test_conflicts_reduce_efficiency(self):
+        cm = CostModel()
+        clean = _epoch(conflicts=0)
+        noisy = _epoch(conflicts=200)  # conflict rate 2.0
+        assert cm.epoch_wall_clock(noisy, 8) > cm.epoch_wall_clock(clean, 8)
+
+    def test_sampling_overhead_toggle(self):
+        cm = CostModel()
+        e = _epoch(draws=100)
+        with_s = cm.epoch_wall_clock(e, 1, include_sampling=True)
+        without = cm.epoch_wall_clock(e, 1, include_sampling=False)
+        assert with_s > without
+        # Overhead should stay a small fraction, as the paper reports (<= ~8 %).
+        assert (with_s - without) / without < 0.25
+
+    def test_parallel_efficiency_bounds(self):
+        cm = CostModel()
+        assert cm.parallel_efficiency(0.0, 1) == 1.0
+        eff = cm.parallel_efficiency(10.0, 8)
+        assert 0.0 < eff < cm.params.base_parallel_efficiency
+
+
+class TestTraceWallClock:
+    def test_cumulative_and_monotone(self):
+        cm = CostModel()
+        trace = ExecutionTrace(epochs=[_epoch(), _epoch(), _epoch()])
+        times = cm.trace_wall_clock(trace, num_workers=4)
+        assert times.shape == (3,)
+        assert np.all(np.diff(times) > 0)
+        assert times[0] == pytest.approx(cm.epoch_wall_clock(_epoch(), 4))
+
+
+class TestCalibration:
+    def test_calibrated_produces_positive_costs(self):
+        cm = CostModel.calibrated(dim=10_000, nnz=32, repeats=1)
+        assert cm.params.sparse_coord_cost > 0
+        assert cm.params.dense_coord_cost > 0
+        assert cm.params.sample_draw_cost > 0
+
+    def test_calibrated_preserves_parallel_params(self):
+        cm = CostModel.calibrated(dim=5_000, nnz=16, repeats=1,
+                                  conflict_penalty=2.5, base_parallel_efficiency=0.8)
+        assert cm.params.conflict_penalty == pytest.approx(2.5)
+        assert cm.params.base_parallel_efficiency == pytest.approx(0.8)

@@ -1,0 +1,65 @@
+"""Tests for epoch/iteration event records."""
+
+import pytest
+
+from repro.async_engine.events import EpochEvent, ExecutionTrace, IterationEvent
+
+
+class TestEpochEvent:
+    def test_merge_iteration_accumulates(self):
+        e = EpochEvent(epoch=0)
+        e.merge_iteration(grad_nnz=5, dense_coords=0, conflicts=1, delay=2)
+        e.merge_iteration(grad_nnz=3, dense_coords=10, conflicts=0, delay=0)
+        assert e.iterations == 2
+        assert e.sparse_coordinate_updates == 8
+        assert e.dense_coordinate_updates == 10
+        assert e.conflicts == 1
+        assert e.stale_reads == 1
+        assert e.sample_draws == 2
+        assert e.max_observed_delay == 2
+
+    def test_conflict_rate(self):
+        e = EpochEvent(epoch=0)
+        assert e.conflict_rate == 0.0
+        e.merge_iteration(grad_nnz=1, dense_coords=0, conflicts=2, delay=1)
+        assert e.conflict_rate == pytest.approx(2.0)
+
+    def test_drew_sample_flag(self):
+        e = EpochEvent(epoch=0)
+        e.merge_iteration(grad_nnz=1, dense_coords=0, conflicts=0, delay=0, drew_sample=False)
+        assert e.sample_draws == 0
+
+
+class TestExecutionTrace:
+    def _trace(self):
+        t = ExecutionTrace()
+        for k in range(3):
+            e = EpochEvent(epoch=k)
+            e.merge_iteration(grad_nnz=4, dense_coords=2, conflicts=k, delay=k)
+            t.add_epoch(e)
+        return t
+
+    def test_totals(self):
+        t = self._trace()
+        assert t.total_iterations == 3
+        assert t.total_conflicts == 3
+        assert t.total_sparse_coordinate_updates == 12
+        assert t.total_dense_coordinate_updates == 6
+
+    def test_conflict_rate(self):
+        assert self._trace().conflict_rate() == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        t = ExecutionTrace()
+        assert t.total_iterations == 0
+        assert t.conflict_rate() == 0.0
+
+    def test_iteration_events_optional(self):
+        t = ExecutionTrace(iterations=[])
+        t.iterations.append(
+            IterationEvent(
+                global_step=0, worker_id=1, sample_index=2, delay=0, conflicts=0,
+                grad_nnz=3, step_scale=1.0,
+            )
+        )
+        assert len(t.iterations) == 1

@@ -1,0 +1,108 @@
+"""Tests for the shared model with stale reads."""
+
+import numpy as np
+import pytest
+
+from repro.async_engine.shared_model import SharedModel
+
+
+class TestBasicReadsWrites:
+    def test_initial_state_zero(self):
+        m = SharedModel(5)
+        np.testing.assert_allclose(m.snapshot(), 0.0)
+        assert m.version == 0
+
+    def test_initial_vector(self):
+        init = np.arange(4, dtype=float)
+        m = SharedModel(4, initial=init)
+        np.testing.assert_allclose(m.snapshot(), init)
+        init[0] = 99  # must not alias
+        assert m.snapshot()[0] == 0.0
+
+    def test_apply_update(self):
+        m = SharedModel(4)
+        v = m.apply_update(np.array([1, 3]), np.array([2.0, -1.0]))
+        assert v == 1
+        np.testing.assert_allclose(m.snapshot(), [0, 2.0, 0, -1.0])
+
+    def test_apply_update_duplicate_indices(self):
+        m = SharedModel(3)
+        m.apply_update(np.array([0, 0]), np.array([1.0, 2.0]))
+        assert m.snapshot()[0] == pytest.approx(3.0)
+
+    def test_dense_update(self):
+        m = SharedModel(3)
+        m.apply_dense_update(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(m.snapshot(), [1.0, 2.0, 3.0])
+
+    def test_dense_update_wrong_shape(self):
+        with pytest.raises(ValueError):
+            SharedModel(3).apply_dense_update(np.zeros(2))
+
+    def test_mismatched_update_shapes(self):
+        with pytest.raises(ValueError):
+            SharedModel(3).apply_update(np.array([0, 1]), np.array([1.0]))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            SharedModel(0)
+
+
+class TestStaleReads:
+    def test_zero_delay_is_fresh(self):
+        m = SharedModel(4)
+        m.apply_update(np.array([0]), np.array([1.0]))
+        values, conflicts = m.read_stale(np.array([0]), delay=0)
+        assert values[0] == pytest.approx(1.0)
+        assert conflicts == 0
+
+    def test_stale_read_undoes_recent_updates(self):
+        m = SharedModel(4)
+        m.apply_update(np.array([0]), np.array([1.0]), worker_id=1)
+        m.apply_update(np.array([0]), np.array([2.0]), worker_id=2)
+        # Reading with delay 1 should miss the most recent (+2.0) update.
+        values, conflicts = m.read_stale(np.array([0]), delay=1)
+        assert values[0] == pytest.approx(1.0)
+        assert conflicts == 1
+        # Delay 2 misses both.
+        values, conflicts = m.read_stale(np.array([0]), delay=2)
+        assert values[0] == pytest.approx(0.0)
+        assert conflicts == 2
+
+    def test_own_writes_always_visible(self):
+        m = SharedModel(4)
+        m.apply_update(np.array([0]), np.array([5.0]), worker_id=3)
+        values, conflicts = m.read_stale(np.array([0]), delay=5, writer_id=3)
+        assert values[0] == pytest.approx(5.0)
+        assert conflicts == 0
+
+    def test_conflicts_only_counted_on_overlap(self):
+        m = SharedModel(4)
+        m.apply_update(np.array([2]), np.array([1.0]), worker_id=1)
+        values, conflicts = m.read_stale(np.array([0]), delay=1, writer_id=2)
+        assert conflicts == 0
+        assert values[0] == 0.0
+
+    def test_delay_larger_than_history_is_clamped(self):
+        m = SharedModel(2, history=2)
+        for _ in range(5):
+            m.apply_update(np.array([0]), np.array([1.0]))
+        values, _ = m.read_stale(np.array([0]), delay=100)
+        # Only the last two updates can be undone.
+        assert values[0] == pytest.approx(3.0)
+
+    def test_conflict_counters(self):
+        m = SharedModel(3)
+        m.apply_update(np.array([0]), np.array([1.0]), worker_id=0)
+        m.read_stale(np.array([0]), delay=1, writer_id=1)
+        assert m.conflict_count == 1
+        assert m.stale_read_count == 1
+        assert m.read_count == 1
+        assert m.conflict_rate() == pytest.approx(1.0)
+        m.reset_counters()
+        assert m.conflict_count == 0 and m.read_count == 0
+
+    def test_read_latest(self):
+        m = SharedModel(3)
+        m.apply_update(np.array([1]), np.array([4.0]))
+        np.testing.assert_allclose(m.read_latest(np.array([1, 2])), [4.0, 0.0])

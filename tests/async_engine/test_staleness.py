@@ -1,0 +1,77 @@
+"""Tests for the staleness (delay) models."""
+
+import numpy as np
+import pytest
+
+from repro.async_engine.staleness import (
+    ConstantDelay,
+    GeometricDelay,
+    UniformDelay,
+    make_staleness_model,
+)
+
+
+class TestConstantDelay:
+    def test_always_constant(self, rng):
+        model = ConstantDelay(5)
+        assert all(model.draw(rng) == 5 for _ in range(20))
+
+    def test_expected_delay(self):
+        assert ConstantDelay(4).expected_delay() == 4.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1)
+
+
+class TestUniformDelay:
+    def test_range(self, rng):
+        model = UniformDelay(7)
+        draws = [model.draw(rng) for _ in range(500)]
+        assert min(draws) >= 0 and max(draws) <= 7
+        # All values should be hit for this many draws.
+        assert set(draws) == set(range(8))
+
+    def test_zero_max(self, rng):
+        assert UniformDelay(0).draw(rng) == 0
+
+    def test_mean_close_to_half_max(self, rng):
+        model = UniformDelay(10)
+        draws = np.array([model.draw(rng) for _ in range(5000)])
+        assert abs(draws.mean() - 5.0) < 0.3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UniformDelay(-2)
+
+
+class TestGeometricDelay:
+    def test_truncated_at_max(self, rng):
+        model = GeometricDelay(4, mean_delay=10.0)
+        draws = [model.draw(rng) for _ in range(300)]
+        assert max(draws) <= 4 and min(draws) >= 0
+
+    def test_small_mean_mostly_fresh(self, rng):
+        model = GeometricDelay(20, mean_delay=0.2)
+        draws = np.array([model.draw(rng) for _ in range(2000)])
+        assert (draws == 0).mean() > 0.6
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            GeometricDelay(5, mean_delay=0.0)
+
+    def test_zero_max(self, rng):
+        assert GeometricDelay(0).draw(rng) == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [("uniform", UniformDelay), ("constant", ConstantDelay), ("geometric", GeometricDelay)],
+    )
+    def test_factory_kinds(self, kind, cls):
+        assert isinstance(make_staleness_model(kind, 3), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_staleness_model("exponential", 3)

@@ -1,0 +1,83 @@
+"""Tests for the real thread-based Hogwild backend."""
+
+import numpy as np
+import pytest
+
+from repro.async_engine.threads import HogwildThreadPool, run_hogwild_threads
+from repro.core.balancing import random_order
+from repro.core.partition import partition_dataset
+
+
+@pytest.fixture()
+def partition(small_problem):
+    L = small_problem.lipschitz_constants()
+    order = random_order(small_problem.n_samples, seed=0)
+    return partition_dataset(order, L, num_workers=3)
+
+
+class TestHogwildThreadPool:
+    def test_epoch_updates_weights(self, small_problem, partition):
+        pool = HogwildThreadPool(
+            small_problem.X, small_problem.y, small_problem.objective, partition,
+            step_size=0.3, seed=0,
+        )
+        pool.run_epoch(iterations_per_worker=20)
+        assert np.linalg.norm(pool.weights) > 0.0
+        assert len(pool.stats) == 3
+        assert all(s.iterations == 20 for s in pool.stats)
+
+    def test_loss_decreases_over_epochs(self, small_problem, partition):
+        obj = small_problem.objective
+        pool = HogwildThreadPool(
+            small_problem.X, small_problem.y, obj, partition, step_size=0.3, seed=0,
+        )
+        initial_loss = obj.full_loss(pool.weights, small_problem.X, small_problem.y)
+        pool.run(3, iterations_per_worker=small_problem.n_samples // 3)
+        final_loss = obj.full_loss(pool.weights, small_problem.X, small_problem.y)
+        assert final_loss < initial_loss
+
+    def test_uniform_vs_importance_modes_both_work(self, small_problem, partition):
+        obj = small_problem.objective
+        for importance in (True, False):
+            pool = HogwildThreadPool(
+                small_problem.X, small_problem.y, obj, partition,
+                step_size=0.3, importance_sampling=importance, seed=0,
+            )
+            pool.run(2, iterations_per_worker=30)
+            loss = obj.full_loss(pool.weights, small_problem.X, small_problem.y)
+            assert loss < obj.full_loss(np.zeros(small_problem.n_features),
+                                        small_problem.X, small_problem.y)
+
+    def test_callback_per_epoch(self, small_problem, partition):
+        seen = []
+        pool = HogwildThreadPool(
+            small_problem.X, small_problem.y, small_problem.objective, partition,
+            step_size=0.3, seed=0,
+        )
+        pool.run(2, iterations_per_worker=10, epoch_callback=lambda e, w: seen.append(e))
+        assert seen == [0, 1]
+
+    def test_invalid_args(self, small_problem, partition):
+        pool = HogwildThreadPool(
+            small_problem.X, small_problem.y, small_problem.objective, partition,
+            step_size=0.3,
+        )
+        with pytest.raises(ValueError):
+            pool.run_epoch(0)
+        with pytest.raises(ValueError):
+            pool.run(0, 10)
+        with pytest.raises(ValueError):
+            HogwildThreadPool(
+                small_problem.X, small_problem.y[:-1], small_problem.objective, partition,
+                step_size=0.3,
+            )
+
+
+class TestRunHelper:
+    def test_run_hogwild_threads(self, small_problem, partition):
+        weights = run_hogwild_threads(
+            small_problem.X, small_problem.y, small_problem.objective, partition,
+            step_size=0.3, epochs=2, seed=0,
+        )
+        assert weights.shape == (small_problem.n_features,)
+        assert np.linalg.norm(weights) > 0.0

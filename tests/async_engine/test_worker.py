@@ -1,0 +1,101 @@
+"""Tests for the simulated worker."""
+
+import numpy as np
+import pytest
+
+from repro.async_engine.worker import SimulatedWorker, build_workers
+from repro.core.partition import WorkerShard, partition_dataset
+from repro.core.sampler import SampleSequence
+
+
+@pytest.fixture()
+def shard():
+    L = np.array([1.0, 2.0, 3.0, 4.0])
+    return WorkerShard(
+        worker_id=0,
+        row_indices=np.array([10, 11, 12, 13]),
+        lipschitz=L,
+        probabilities=L / L.sum(),
+    )
+
+
+@pytest.fixture()
+def worker(shard):
+    seq = SampleSequence.generate(shard.probabilities, 20, seed=0)
+    return SimulatedWorker(shard=shard, sequence=seq, seed=0)
+
+
+class TestNextSample:
+    def test_returns_global_row(self, worker, shard):
+        global_row, local, weight = worker.next_sample()
+        assert global_row in shard.row_indices
+        assert 0 <= local < shard.size
+        assert weight > 0.0
+
+    def test_reweighting_is_inverse_np(self, worker, shard):
+        # weight for local sample i must be 1 / (n_a * p_i) (before clipping).
+        _, local, weight = worker.next_sample()
+        expected = 1.0 / (shard.size * shard.probabilities[local])
+        assert weight == pytest.approx(min(expected, worker.step_clip))
+
+    def test_exhaustion_raises(self, worker):
+        for _ in range(worker.iterations_per_epoch):
+            worker.next_sample()
+        assert worker.exhausted
+        with pytest.raises(RuntimeError):
+            worker.next_sample()
+
+    def test_remaining_iterations(self, worker):
+        assert worker.remaining_iterations() == 20
+        worker.next_sample()
+        assert worker.remaining_iterations() == 19
+
+
+class TestStartEpoch:
+    def test_reshuffle_preserves_multiset(self, worker):
+        before = sorted(worker.sequence.indices.tolist())
+        worker.start_epoch(reshuffle=True)
+        after = sorted(worker.sequence.indices.tolist())
+        assert before == after
+        assert not worker.exhausted
+
+    def test_regenerate_draws_new_sequence(self, worker):
+        before = worker.sequence.indices.copy()
+        worker.start_epoch(regenerate=True)
+        assert not np.array_equal(before, worker.sequence.indices)
+
+    def test_empty_sequence_rejected(self, shard):
+        with pytest.raises(ValueError):
+            SimulatedWorker(
+                shard=shard,
+                sequence=SampleSequence(indices=np.array([], dtype=np.int64),
+                                        probabilities=shard.probabilities),
+            )
+
+
+class TestBuildWorkers:
+    def test_one_worker_per_shard(self, heavy_tail_lipschitz):
+        partition = partition_dataset(
+            np.arange(heavy_tail_lipschitz.size), heavy_tail_lipschitz, num_workers=5
+        )
+        workers = build_workers(partition, 30, seed=0)
+        assert len(workers) == 5
+        assert all(w.iterations_per_epoch == 30 for w in workers)
+
+    def test_uniform_mode_has_unit_weights(self, heavy_tail_lipschitz):
+        partition = partition_dataset(
+            np.arange(heavy_tail_lipschitz.size), heavy_tail_lipschitz, num_workers=3
+        )
+        workers = build_workers(partition, 10, seed=0, importance_sampling=False)
+        for w in workers:
+            for _ in range(3):
+                _, _, weight = w.next_sample()
+                assert weight == pytest.approx(1.0)
+
+    def test_importance_mode_weights_vary(self, heavy_tail_lipschitz):
+        partition = partition_dataset(
+            np.arange(heavy_tail_lipschitz.size), heavy_tail_lipschitz, num_workers=3
+        )
+        workers = build_workers(partition, 50, seed=0, importance_sampling=True)
+        weights = {round(workers[0].next_sample()[2], 6) for _ in range(30)}
+        assert len(weights) > 1

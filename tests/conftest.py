@@ -1,0 +1,72 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures provide small, deterministic problem instances so that every test
+runs in milliseconds while still exercising the real code paths (sparse
+matrices, heavy-tailed Lipschitz spectra, classification labels in ±1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, make_sparse_classification
+from repro.objectives.logistic import LogisticObjective
+from repro.objectives.regularizers import L2Regularizer
+from repro.solvers.base import Problem
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(scope="session")
+def tiny_dense_matrix() -> CSRMatrix:
+    """A fixed 4x5 matrix with known entries (hand-checkable)."""
+    dense = np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0, 4.0, 5.0],
+            [6.0, 0.0, 0.0, 0.0, 7.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> SyntheticSpec:
+    """Specification of the small synthetic classification dataset."""
+    return SyntheticSpec(
+        n_samples=120,
+        n_features=80,
+        nnz_per_sample=8.0,
+        feature_skew=1.0,
+        norm_spread=0.6,
+        label_noise=0.02,
+        name="unit_test",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_spec):
+    """``(X, y, w_true)`` for the small synthetic dataset."""
+    return make_sparse_classification(small_spec, seed=123)
+
+
+@pytest.fixture(scope="session")
+def small_problem(small_dataset) -> Problem:
+    """A logistic-regression problem on the small dataset."""
+    X, y, _ = small_dataset
+    objective = LogisticObjective(regularizer=L2Regularizer(1e-3))
+    return Problem(X=X, y=y, objective=objective, name="unit_test")
+
+
+@pytest.fixture(scope="session")
+def heavy_tail_lipschitz() -> np.ndarray:
+    """A heavy-tailed Lipschitz spectrum (strong IS gain, high imbalance risk)."""
+    rng = np.random.default_rng(7)
+    return np.exp(rng.normal(0.0, 1.5, size=200))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,193 @@
+"""Tests for importance balancing (Algorithm 3) and the adaptive rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.balancing import (
+    BalancingDecision,
+    balance_dataset,
+    decide_balancing,
+    head_tail_order,
+    imbalance_ratio,
+    importance_mass,
+    random_order,
+    snake_order,
+)
+
+
+class TestImportanceMass:
+    def test_per_shard_sums(self):
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        masses = importance_mass(L, np.array([0, 2, 4]))
+        np.testing.assert_allclose(masses, [3.0, 7.0])
+
+    def test_single_shard(self):
+        L = np.array([1.0, 2.0])
+        np.testing.assert_allclose(importance_mass(L, np.array([0, 2])), [3.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            importance_mass(np.ones(4), np.array([0, 5]))
+        with pytest.raises(ValueError):
+            importance_mass(np.ones(4), np.array([1, 4]))
+
+
+class TestImbalanceRatio:
+    def test_perfect_balance_is_one(self):
+        L = np.array([2.0, 2.0, 2.0, 2.0])
+        assert imbalance_ratio(L, np.array([0, 2, 4])) == pytest.approx(1.0)
+
+    def test_figure2_imbalance(self):
+        # Figure 2: sorted order {1,2 | 3,4} gives masses 3 and 7.
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        assert imbalance_ratio(L, np.array([0, 2, 4])) == pytest.approx(7.0 / 3.0)
+
+    def test_zero_mass_shard_gives_inf(self):
+        L = np.array([0.0, 0.0, 1.0, 1.0])
+        assert imbalance_ratio(L, np.array([0, 2, 4])) == np.inf
+
+
+class TestHeadTailOrder:
+    def test_is_a_permutation(self, heavy_tail_lipschitz):
+        order = head_tail_order(heavy_tail_lipschitz)
+        assert sorted(order.tolist()) == list(range(heavy_tail_lipschitz.size))
+
+    def test_figure2_example(self):
+        # The paper's Figure 2 balanced layout: {x1, x4 | x3, x2}.
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        order = head_tail_order(L)
+        np.testing.assert_array_equal(order, [0, 3, 1, 2])
+        # After re-ordering, the two halves have equal mass.
+        assert imbalance_ratio(L[order], np.array([0, 2, 4])) == pytest.approx(1.0)
+
+    def test_odd_length(self):
+        L = np.array([5.0, 1.0, 3.0])
+        order = head_tail_order(L)
+        assert sorted(order.tolist()) == [0, 1, 2]
+
+    def test_balancing_reduces_imbalance_on_sorted_input(self):
+        # Worst case for contiguous sharding: L already sorted ascending.
+        L = np.linspace(1.0, 100.0, 64)
+        bounds = np.linspace(0, 64, 9).astype(np.int64)
+        before = imbalance_ratio(L, bounds)
+        after = imbalance_ratio(L[head_tail_order(L)], bounds)
+        assert after < before
+        assert after == pytest.approx(1.0, rel=0.05)
+
+    def test_moderate_spread_balancing_beats_random(self, rng):
+        """For a bounded (uniform) spread — the regime Algorithm 3 targets —
+        head–tail pairing beats random shuffling."""
+        L = rng.uniform(0.5, 5.0, size=200)
+        bounds = np.linspace(0, L.size, 9).astype(np.int64)
+        rng_imbalances = [
+            imbalance_ratio(L[random_order(L.size, seed=s)], bounds) for s in range(5)
+        ]
+        balanced = imbalance_ratio(L[head_tail_order(L)], bounds)
+        assert balanced <= min(rng_imbalances)
+
+
+class TestSnakeOrder:
+    def test_is_a_permutation(self, heavy_tail_lipschitz):
+        order = snake_order(heavy_tail_lipschitz, 8)
+        assert sorted(order.tolist()) == list(range(heavy_tail_lipschitz.size))
+
+    def test_beats_head_tail_and_random_on_heavy_tail(self, heavy_tail_lipschitz):
+        """The serpentine extension handles the heavy-tailed regime where the
+        paper's pairing heuristic struggles."""
+        L = heavy_tail_lipschitz
+        bounds = np.linspace(0, L.size, 9).astype(np.int64)
+        snake = imbalance_ratio(L[snake_order(L, 8)], bounds)
+        head_tail = imbalance_ratio(L[head_tail_order(L)], bounds)
+        random_best = min(
+            imbalance_ratio(L[random_order(L.size, seed=s)], bounds) for s in range(5)
+        )
+        assert snake <= head_tail
+        assert snake <= random_best
+        assert snake < 1.5
+
+    def test_handles_uneven_division(self):
+        L = np.arange(1.0, 11.0)  # 10 samples over 3 workers
+        order = snake_order(L, 3)
+        assert sorted(order.tolist()) == list(range(10))
+
+    def test_single_worker(self, heavy_tail_lipschitz):
+        order = snake_order(heavy_tail_lipschitz, 1)
+        assert sorted(order.tolist()) == list(range(heavy_tail_lipschitz.size))
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            snake_order(np.ones(4), 0)
+
+    def test_balance_dataset_snake_method(self, heavy_tail_lipschitz):
+        result = balance_dataset(
+            heavy_tail_lipschitz, num_workers=8, seed=0,
+            force=BalancingDecision.BALANCE, method="snake",
+        )
+        assert result.imbalance_after < 1.5
+
+    def test_balance_dataset_unknown_method(self, heavy_tail_lipschitz):
+        with pytest.raises(ValueError):
+            balance_dataset(heavy_tail_lipschitz, num_workers=4,
+                            force=BalancingDecision.BALANCE, method="magic")
+
+
+class TestDecideBalancing:
+    def test_high_variance_triggers_balance(self):
+        L = np.array([1.0, 100.0, 1.0, 100.0])
+        decision, value = decide_balancing(L, zeta=5e-4)
+        assert decision is BalancingDecision.BALANCE
+        assert value > 5e-4
+
+    def test_constant_constants_trigger_shuffle(self):
+        L = np.full(10, 3.0)
+        decision, value = decide_balancing(L, zeta=5e-4)
+        assert decision is BalancingDecision.SHUFFLE
+        assert value == pytest.approx(0.0)
+
+    def test_raw_rho_option(self):
+        L = np.full(10, 3.0)
+        decision, value = decide_balancing(L, zeta=5e-4, use_normalized_rho=False)
+        assert decision is BalancingDecision.SHUFFLE
+
+
+class TestBalanceDataset:
+    def test_returns_permutation(self, heavy_tail_lipschitz):
+        result = balance_dataset(heavy_tail_lipschitz, num_workers=8, seed=0)
+        assert sorted(result.order.tolist()) == list(range(heavy_tail_lipschitz.size))
+
+    def test_balance_branch_improves_imbalance_moderate_spread(self, rng):
+        # Algorithm 3's guarantee regime: a bounded Lipschitz spread.
+        L = rng.uniform(0.5, 5.0, size=160)
+        result = balance_dataset(L, num_workers=8, seed=0, force=BalancingDecision.BALANCE)
+        assert result.imbalance_after <= result.imbalance_before + 1e-9
+        assert result.decision is BalancingDecision.BALANCE
+
+    def test_balance_branch_snake_improves_imbalance_heavy_tail(self, heavy_tail_lipschitz):
+        result = balance_dataset(
+            heavy_tail_lipschitz, num_workers=8, seed=0,
+            force=BalancingDecision.BALANCE, method="snake",
+        )
+        assert result.imbalance_after <= result.imbalance_before + 1e-9
+        assert result.imbalance_after < 1.5
+
+    def test_forced_shuffle(self, heavy_tail_lipschitz):
+        result = balance_dataset(
+            heavy_tail_lipschitz, num_workers=4, seed=0, force=BalancingDecision.SHUFFLE
+        )
+        assert result.decision is BalancingDecision.SHUFFLE
+
+    def test_more_workers_than_samples(self):
+        L = np.array([1.0, 2.0, 3.0])
+        result = balance_dataset(L, num_workers=10, seed=0)
+        assert sorted(result.order.tolist()) == [0, 1, 2]
+
+    def test_invalid_workers(self, heavy_tail_lipschitz):
+        with pytest.raises(ValueError):
+            balance_dataset(heavy_tail_lipschitz, num_workers=0)
+
+    def test_reproducible_shuffle(self, heavy_tail_lipschitz):
+        a = balance_dataset(heavy_tail_lipschitz, num_workers=4, seed=11,
+                            force=BalancingDecision.SHUFFLE)
+        b = balance_dataset(heavy_tail_lipschitz, num_workers=4, seed=11,
+                            force=BalancingDecision.SHUFFLE)
+        np.testing.assert_array_equal(a.order, b.order)

@@ -1,0 +1,106 @@
+"""Tests for the importance-sampling distributions (Eq. 7-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import (
+    ImportanceScheme,
+    effective_sample_size,
+    importance_weights,
+    lipschitz_probabilities,
+    optimal_probabilities,
+    stepsize_reweighting,
+    uniform_probabilities,
+    variance_reduction_factor,
+)
+from repro.objectives.logistic import LogisticObjective
+
+
+class TestUniform:
+    def test_sums_to_one(self):
+        p = uniform_probabilities(7)
+        assert p.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(p, 1.0 / 7)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            uniform_probabilities(0)
+
+
+class TestLipschitzProbabilities:
+    def test_eq12_formula(self):
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        p = lipschitz_probabilities(L)
+        np.testing.assert_allclose(p, L / 10.0)
+
+    def test_sums_to_one(self, heavy_tail_lipschitz):
+        assert lipschitz_probabilities(heavy_tail_lipschitz).sum() == pytest.approx(1.0)
+
+    def test_zero_constants_get_floor(self):
+        p = lipschitz_probabilities(np.array([0.0, 1.0]))
+        assert p[0] > 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            importance_weights(np.array([-1.0, 1.0]))
+
+    def test_figure2_example(self):
+        # The paper's Figure 2 example: L = {1,2,3,4} -> p = {0.1,0.2,0.3,0.4}.
+        p = lipschitz_probabilities(np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_allclose(p, [0.1, 0.2, 0.3, 0.4])
+
+
+class TestReweighting:
+    def test_unbiasedness_identity(self):
+        """E_p[ (n p_i)^{-1} g_i ] must equal the uniform mean of g_i."""
+        rng = np.random.default_rng(0)
+        g = rng.normal(size=(6, 3))
+        L = rng.uniform(0.5, 4.0, size=6)
+        p = lipschitz_probabilities(L)
+        weights = stepsize_reweighting(p)
+        weighted_mean = (p[:, None] * weights[:, None] * g).sum(axis=0)
+        np.testing.assert_allclose(weighted_mean, g.mean(axis=0))
+
+    def test_uniform_probabilities_give_unit_weights(self):
+        p = uniform_probabilities(5)
+        np.testing.assert_allclose(stepsize_reweighting(p), 1.0)
+
+    def test_rejects_non_probability(self):
+        with pytest.raises(ValueError):
+            stepsize_reweighting(np.array([0.2, 0.2]))
+
+
+class TestOptimalProbabilities:
+    def test_proportional_to_gradient_norms(self, small_dataset):
+        X, y, _ = small_dataset
+        obj = LogisticObjective()
+        w = np.zeros(X.n_cols)
+        p = optimal_probabilities(w, X, y, obj)
+        assert p.sum() == pytest.approx(1.0)
+        norms = np.array(
+            [obj.sample_grad(w, *X.row(i), float(y[i])).norm() for i in range(X.n_rows)]
+        )
+        np.testing.assert_allclose(p, np.maximum(norms, 1e-12) / np.maximum(norms, 1e-12).sum())
+
+
+class TestDiagnostics:
+    def test_effective_sample_size_uniform(self):
+        assert effective_sample_size(uniform_probabilities(10)) == pytest.approx(10.0)
+
+    def test_effective_sample_size_degenerate(self):
+        p = np.array([1.0, 0.0, 0.0])
+        assert effective_sample_size(p) == pytest.approx(1.0)
+
+    def test_variance_reduction_factor_bounds(self, heavy_tail_lipschitz):
+        factor = variance_reduction_factor(heavy_tail_lipschitz)
+        assert 0.0 < factor <= 1.0
+
+    def test_variance_reduction_factor_is_sqrt_psi(self):
+        from repro.sparse.stats import psi
+
+        L = np.array([1.0, 5.0, 2.0])
+        assert variance_reduction_factor(L) == pytest.approx(np.sqrt(psi(L)))
+
+    def test_importance_scheme_enum(self):
+        assert ImportanceScheme("lipschitz") is ImportanceScheme.LIPSCHITZ
+        assert ImportanceScheme("uniform") is ImportanceScheme.UNIFORM

@@ -1,0 +1,91 @@
+"""Tests for the worker data partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.balancing import BalancingDecision, balance_dataset
+from repro.core.partition import partition_dataset
+
+
+class TestPartitionDataset:
+    def test_shards_cover_all_rows(self, heavy_tail_lipschitz):
+        L = heavy_tail_lipschitz
+        order = np.arange(L.size)
+        partition = partition_dataset(order, L, num_workers=7)
+        covered = np.concatenate([s.row_indices for s in partition.shards])
+        assert sorted(covered.tolist()) == list(range(L.size))
+
+    def test_shard_sizes_nearly_equal(self, heavy_tail_lipschitz):
+        partition = partition_dataset(
+            np.arange(heavy_tail_lipschitz.size), heavy_tail_lipschitz, num_workers=7
+        )
+        sizes = [s.size for s in partition.shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_local_probabilities_sum_to_one(self, heavy_tail_lipschitz):
+        partition = partition_dataset(
+            np.arange(heavy_tail_lipschitz.size), heavy_tail_lipschitz, num_workers=4
+        )
+        for shard in partition.shards:
+            assert shard.probabilities.sum() == pytest.approx(1.0)
+
+    def test_local_probabilities_proportional_to_local_lipschitz(self):
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        partition = partition_dataset(np.arange(4), L, num_workers=2)
+        shard = partition.shards[0]
+        np.testing.assert_allclose(shard.probabilities, [1 / 3, 2 / 3])
+
+    def test_uniform_scheme(self):
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        partition = partition_dataset(np.arange(4), L, num_workers=2, scheme="uniform")
+        for shard in partition.shards:
+            np.testing.assert_allclose(shard.probabilities, 0.5)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            partition_dataset(np.arange(4), np.ones(4), num_workers=2, scheme="magic")
+
+    def test_figure2_distortion_story(self):
+        """The Figure 2 example: sorted split distorts, balanced split does not."""
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        sorted_partition = partition_dataset(np.arange(4), L, num_workers=2)
+        balanced_order = balance_dataset(L, 2, force=BalancingDecision.BALANCE).order
+        balanced_partition = partition_dataset(balanced_order, L, num_workers=2)
+        assert balanced_partition.local_vs_global_distortion() < (
+            sorted_partition.local_vs_global_distortion()
+        )
+        assert balanced_partition.mass_imbalance() == pytest.approx(1.0)
+        assert sorted_partition.mass_imbalance() == pytest.approx(7.0 / 3.0)
+
+    def test_total_mass_preserved(self, heavy_tail_lipschitz):
+        partition = partition_dataset(
+            np.arange(heavy_tail_lipschitz.size), heavy_tail_lipschitz, num_workers=5
+        )
+        assert partition.total_mass == pytest.approx(heavy_tail_lipschitz.sum())
+
+    def test_order_subset_allowed(self):
+        L = np.ones(10)
+        partition = partition_dataset(np.array([1, 3, 5, 7]), L, num_workers=2)
+        assert partition.num_workers == 2
+        assert sum(s.size for s in partition.shards) == 4
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            partition_dataset(np.array([0, 99]), np.ones(10), num_workers=2)
+        with pytest.raises(ValueError):
+            partition_dataset(np.array([], dtype=np.int64), np.ones(10), num_workers=2)
+
+    def test_workers_capped_by_rows(self):
+        partition = partition_dataset(np.arange(3), np.ones(3), num_workers=8)
+        assert partition.num_workers == 3
+
+    def test_worker_shard_validation(self):
+        from repro.core.partition import WorkerShard
+
+        with pytest.raises(ValueError):
+            WorkerShard(
+                worker_id=0,
+                row_indices=np.array([0, 1]),
+                lipschitz=np.array([1.0]),
+                probabilities=np.array([1.0]),
+            )

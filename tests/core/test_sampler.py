@@ -1,0 +1,112 @@
+"""Tests for the weighted samplers and sample sequences."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import AliasSampler, InverseCDFSampler, SampleSequence, make_sampler
+
+
+@pytest.fixture()
+def skewed_probs():
+    p = np.array([0.05, 0.1, 0.15, 0.3, 0.4])
+    return p / p.sum()
+
+
+class TestAliasSampler:
+    def test_draw_in_range(self, skewed_probs):
+        s = AliasSampler(skewed_probs, seed=0)
+        for _ in range(100):
+            assert 0 <= s.draw() < skewed_probs.size
+
+    def test_empirical_distribution_converges(self, skewed_probs):
+        s = AliasSampler(skewed_probs, seed=0)
+        draws = s.sample(60_000)
+        freqs = np.bincount(draws, minlength=5) / draws.size
+        np.testing.assert_allclose(freqs, skewed_probs, atol=0.01)
+
+    def test_reproducible_with_seed(self, skewed_probs):
+        a = AliasSampler(skewed_probs, seed=3).sample(50)
+        b = AliasSampler(skewed_probs, seed=3).sample(50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_uniform_case(self):
+        p = np.full(4, 0.25)
+        s = AliasSampler(p, seed=0)
+        draws = s.sample(40_000)
+        freqs = np.bincount(draws, minlength=4) / draws.size
+        np.testing.assert_allclose(freqs, 0.25, atol=0.01)
+
+    def test_single_item(self):
+        s = AliasSampler(np.array([1.0]), seed=0)
+        assert s.draw() == 0
+
+    def test_degenerate_distribution(self):
+        p = np.array([0.0, 1.0, 0.0])
+        s = AliasSampler(p, seed=0)
+        assert set(s.sample(200).tolist()) == {1}
+
+    def test_invalid_size(self, skewed_probs):
+        with pytest.raises(ValueError):
+            AliasSampler(skewed_probs).sample(-1)
+
+
+class TestInverseCDFSampler:
+    def test_empirical_distribution_converges(self, skewed_probs):
+        s = InverseCDFSampler(skewed_probs, seed=0)
+        draws = s.sample(60_000)
+        freqs = np.bincount(draws, minlength=5) / draws.size
+        np.testing.assert_allclose(freqs, skewed_probs, atol=0.01)
+
+    def test_draw_in_range(self, skewed_probs):
+        s = InverseCDFSampler(skewed_probs, seed=1)
+        assert all(0 <= s.draw() < 5 for _ in range(50))
+
+    def test_agrees_with_alias_statistically(self, skewed_probs):
+        a = AliasSampler(skewed_probs, seed=0).sample(40_000)
+        b = InverseCDFSampler(skewed_probs, seed=1).sample(40_000)
+        fa = np.bincount(a, minlength=5) / a.size
+        fb = np.bincount(b, minlength=5) / b.size
+        np.testing.assert_allclose(fa, fb, atol=0.015)
+
+
+class TestMakeSampler:
+    def test_factory_kinds(self, skewed_probs):
+        assert isinstance(make_sampler(skewed_probs, "alias"), AliasSampler)
+        assert isinstance(make_sampler(skewed_probs, "inverse_cdf"), InverseCDFSampler)
+
+    def test_unknown_kind(self, skewed_probs):
+        with pytest.raises(ValueError):
+            make_sampler(skewed_probs, "bogus")
+
+
+class TestSampleSequence:
+    def test_generate_length_and_range(self, skewed_probs):
+        seq = SampleSequence.generate(skewed_probs, 500, seed=0)
+        assert len(seq) == 500
+        assert seq.indices.min() >= 0 and seq.indices.max() < 5
+
+    def test_empirical_frequencies(self, skewed_probs):
+        seq = SampleSequence.generate(skewed_probs, 50_000, seed=0)
+        np.testing.assert_allclose(seq.empirical_frequencies(), skewed_probs, atol=0.01)
+
+    def test_reshuffled_preserves_multiset(self, skewed_probs):
+        seq = SampleSequence.generate(skewed_probs, 200, seed=0)
+        shuffled = seq.reshuffled(seed=1)
+        assert sorted(seq.indices.tolist()) == sorted(shuffled.indices.tolist())
+        assert not np.array_equal(seq.indices, shuffled.indices)
+
+    def test_uniform_epoch_is_permutation(self):
+        seq = SampleSequence.uniform_epoch(10, seed=0)
+        assert sorted(seq.indices.tolist()) == list(range(10))
+
+    def test_iteration_and_indexing(self, skewed_probs):
+        seq = SampleSequence.generate(skewed_probs, 10, seed=0)
+        assert list(seq)[3] == seq[3]
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSequence(indices=np.array([5]), probabilities=np.array([0.5, 0.5]))
+
+    def test_negative_length_rejected(self, skewed_probs):
+        with pytest.raises(ValueError):
+            SampleSequence.generate(skewed_probs, -1)

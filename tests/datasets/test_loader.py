@@ -1,0 +1,55 @@
+"""Tests for the dataset loader facade."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loader import Dataset, clear_cache, load_dataset
+from repro.sparse.io import save_libsvm
+
+
+class TestLoadCatalogDataset:
+    def test_loads_smoke_dataset(self):
+        ds = load_dataset("news20_smoke", seed=0)
+        assert isinstance(ds, Dataset)
+        assert ds.n_samples > 0 and ds.n_features > 0
+        assert ds.descriptor is not None
+        assert ds.w_true is not None
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = load_dataset("news20_smoke", seed=0)
+        b = load_dataset("news20_smoke", seed=0)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = load_dataset("news20_smoke", seed=0)
+        b = load_dataset("news20_smoke", seed=0, use_cache=False)
+        assert a is not b
+        assert a.X == b.X  # same seed -> identical content
+
+    def test_different_seed_different_data(self):
+        a = load_dataset("news20_smoke", seed=0, use_cache=False)
+        b = load_dataset("news20_smoke", seed=1, use_cache=False)
+        assert a.X != b.X
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("not_a_dataset")
+
+    def test_stats_helper(self):
+        ds = load_dataset("news20_smoke", seed=0)
+        L = np.ones(ds.n_samples)
+        stats = ds.stats(L)
+        assert stats.n_samples == ds.n_samples
+        assert stats.source == ds.descriptor.paper.source
+
+
+class TestLoadFromFile:
+    def test_libsvm_path(self, tmp_path, small_dataset):
+        X, y, _ = small_dataset
+        path = tmp_path / "file.libsvm"
+        save_libsvm(X, y, path)
+        ds = load_dataset(str(path))
+        assert ds.n_samples == X.n_rows
+        assert ds.descriptor is None
+        np.testing.assert_array_equal(ds.y, y)

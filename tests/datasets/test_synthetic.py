@@ -1,0 +1,110 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    heterogeneous_lipschitz_dataset,
+    make_sparse_classification,
+    make_sparse_regression,
+)
+from repro.objectives.logistic import LogisticObjective
+from repro.sparse.stats import psi
+
+
+class TestSyntheticSpec:
+    def test_density_property(self):
+        spec = SyntheticSpec(n_samples=10, n_features=100, nnz_per_sample=5.0)
+        assert spec.density == pytest.approx(0.05)
+
+    def test_density_capped_at_one(self):
+        spec = SyntheticSpec(n_samples=10, n_features=4, nnz_per_sample=50.0)
+        assert spec.density == 1.0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_samples=0, n_features=10, nnz_per_sample=1.0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_samples=10, n_features=10, nnz_per_sample=-1.0)
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_samples=10, n_features=10, nnz_per_sample=2.0, label_noise=0.9)
+
+
+class TestClassificationGenerator:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SyntheticSpec(
+            n_samples=300, n_features=150, nnz_per_sample=10.0, norm_spread=0.8, label_noise=0.0
+        )
+
+    def test_shapes(self, spec):
+        X, y, w = make_sparse_classification(spec, seed=0)
+        assert X.shape == (300, 150)
+        assert y.shape == (300,)
+        assert w.shape == (150,)
+
+    def test_labels_are_pm1(self, spec):
+        _, y, _ = make_sparse_classification(spec, seed=0)
+        assert set(np.unique(y)) <= {-1.0, 1.0}
+
+    def test_reproducible(self, spec):
+        X1, y1, w1 = make_sparse_classification(spec, seed=7)
+        X2, y2, w2 = make_sparse_classification(spec, seed=7)
+        assert X1 == X2
+        np.testing.assert_array_equal(y1, y2)
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_different_seeds_differ(self, spec):
+        X1, _, _ = make_sparse_classification(spec, seed=1)
+        X2, _, _ = make_sparse_classification(spec, seed=2)
+        assert X1 != X2
+
+    def test_sparsity_near_target(self, spec):
+        X, _, _ = make_sparse_classification(spec, seed=0)
+        avg_nnz = X.nnz / X.n_rows
+        assert 0.5 * spec.nnz_per_sample <= avg_nnz <= 1.5 * spec.nnz_per_sample
+
+    def test_no_empty_rows(self, spec):
+        X, _, _ = make_sparse_classification(spec, seed=0)
+        assert int(np.min(X.row_nnz())) >= 1
+
+    def test_labels_mostly_consistent_with_planted_model(self, spec):
+        X, y, w_true = make_sparse_classification(spec, seed=3)
+        margins = X.dot(w_true)
+        agreement = np.mean(np.sign(margins) == y)
+        assert agreement > 0.9  # label_noise = 0 here
+
+    def test_norm_spread_controls_psi(self):
+        narrow = SyntheticSpec(n_samples=400, n_features=100, nnz_per_sample=8.0, norm_spread=0.05)
+        wide = SyntheticSpec(n_samples=400, n_features=100, nnz_per_sample=8.0, norm_spread=1.5)
+        obj = LogisticObjective()
+        Xn, yn, _ = make_sparse_classification(narrow, seed=0)
+        Xw, yw, _ = make_sparse_classification(wide, seed=0)
+        psi_narrow = psi(obj.lipschitz_constants(Xn, yn))
+        psi_wide = psi(obj.lipschitz_constants(Xw, yw))
+        assert psi_wide < psi_narrow  # heavier tail => smaller psi => bigger IS gain
+
+
+class TestRegressionGenerator:
+    def test_targets_follow_linear_model(self):
+        spec = SyntheticSpec(n_samples=200, n_features=50, nnz_per_sample=6.0, norm_spread=0.3)
+        X, y, w_true = make_sparse_regression(spec, seed=0, noise_std=0.01)
+        preds = X.dot(w_true)
+        residual = np.linalg.norm(y - preds) / np.linalg.norm(y)
+        assert residual < 0.05
+
+    def test_noise_increases_residual(self):
+        spec = SyntheticSpec(n_samples=200, n_features=50, nnz_per_sample=6.0, norm_spread=0.3)
+        _, y_low, w = make_sparse_regression(spec, seed=0, noise_std=0.01)
+        _, y_high, _ = make_sparse_regression(spec, seed=0, noise_std=1.0)
+        assert np.std(y_high - y_low) > 0.1
+
+
+class TestHeavyTailConvenience:
+    def test_produces_low_psi(self):
+        X, y, _ = heterogeneous_lipschitz_dataset(300, 100, seed=0, heavy_tail=1.8)
+        obj = LogisticObjective()
+        assert psi(obj.lipschitz_constants(X, y)) < 0.6

@@ -1,0 +1,86 @@
+"""Tests for the experiment configurations."""
+
+import pytest
+
+from repro.experiments.configs import (
+    FAST_THREAD_COUNTS,
+    PAPER_THREAD_COUNTS,
+    ExperimentConfig,
+    RunSpec,
+    balancing_ablation_config,
+    figure_config,
+    table1_config,
+)
+
+
+class TestRunSpec:
+    def test_key_and_kwargs(self):
+        spec = RunSpec(
+            dataset="news20", solver="is_asgd", num_workers=8, step_size=0.5, epochs=3,
+            solver_kwargs=(("force_balancing", "balance"),),
+        )
+        assert spec.key == ("news20", "is_asgd", 8)
+        assert spec.kwargs() == {"force_balancing": "balance"}
+
+
+class TestFigureConfig:
+    def test_paper_thread_counts_constant(self):
+        assert PAPER_THREAD_COUNTS == (16, 32, 44)
+
+    def test_default_covers_all_datasets_and_solvers(self):
+        cfg = figure_config()
+        datasets = {r.dataset for r in cfg.runs}
+        assert datasets == {"news20", "url", "kdd_algebra", "kdd_bridge"}
+        solvers = {r.solver for r in cfg.runs}
+        assert solvers == {"sgd", "asgd", "is_asgd", "svrg_asgd"}
+
+    def test_svrg_asgd_only_on_news20(self):
+        cfg = figure_config()
+        svrg_datasets = {r.dataset for r in cfg.runs if r.solver == "svrg_asgd"}
+        assert svrg_datasets == {"news20"}
+
+    def test_sgd_run_once_per_dataset(self):
+        cfg = figure_config()
+        sgd_runs = [r for r in cfg.runs if r.solver == "sgd"]
+        assert len(sgd_runs) == 4
+        assert all(r.num_workers == 1 for r in sgd_runs)
+
+    def test_async_solvers_swept_over_thread_counts(self):
+        cfg = figure_config(thread_counts=(2, 4))
+        asgd_workers = sorted({r.num_workers for r in cfg.runs if r.solver == "asgd"})
+        assert asgd_workers == [2, 4]
+
+    def test_step_sizes_follow_catalog(self):
+        cfg = figure_config()
+        url_runs = [r for r in cfg.runs if r.dataset == "url"]
+        assert all(r.step_size == pytest.approx(0.05) for r in url_runs)
+
+    def test_smoke_mode_uses_smoke_datasets(self):
+        cfg = figure_config(smoke=True, datasets=["news20"])
+        assert all(r.dataset == "news20_smoke" for r in cfg.runs)
+
+    def test_epochs_override(self):
+        cfg = figure_config(epochs_override=2, datasets=["url"])
+        assert all(r.epochs == 2 for r in cfg.runs)
+
+    def test_filter(self):
+        cfg = figure_config()
+        only_news = cfg.filter(dataset="news20")
+        assert {r.dataset for r in only_news.runs} == {"news20"}
+        only_is = cfg.filter(solver="is_asgd")
+        assert {r.solver for r in only_is.runs} == {"is_asgd"}
+
+
+class TestOtherConfigs:
+    def test_table1_config_has_no_training(self):
+        cfg = table1_config()
+        assert all(r.solver == "none" for r in cfg.runs)
+        assert len(cfg.runs) == 4
+
+    def test_balancing_ablation_contents(self):
+        cfg = balancing_ablation_config()
+        solvers = [r.solver for r in cfg.runs]
+        assert solvers.count("is_asgd") == 2
+        assert "asgd" in solvers
+        forced = {dict(r.solver_kwargs).get("force_balancing") for r in cfg.runs if r.solver == "is_asgd"}
+        assert forced == {"balance", "shuffle"}

@@ -1,0 +1,64 @@
+"""Tests for the plain-text report renderer."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_table,
+    render_curve_rows,
+    rows_to_csv,
+)
+from repro.metrics.convergence import ConvergenceCurve, EpochMetrics
+
+
+@pytest.fixture()
+def rows():
+    return [
+        {"name": "news20", "psi": 0.972, "instances": 19996},
+        {"name": "bridge", "psi": 0.877, "instances": 19264097},
+    ]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self, rows):
+        text = format_table(rows, title="Table 1")
+        assert "Table 1" in text
+        assert "name" in text and "psi" in text
+        assert "news20" in text and "bridge" in text
+
+    def test_column_subset(self, rows):
+        text = format_table(rows, columns=["name"])
+        assert "psi" not in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_float_formatting(self, rows):
+        text = format_table([{"big": 1.9264097e7, "small": 3.2e-6, "int": 19264097}])
+        # Large/small floats are rendered scientifically, integers verbatim.
+        assert "1.9264e+07" in text
+        assert "3.2000e-06" in text
+        assert "19264097" in text
+
+    def test_missing_keys_rendered_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text.count("\n") >= 3
+
+
+class TestCsv:
+    def test_roundtrip_columns(self, rows):
+        csv_text = rows_to_csv(rows)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,psi,instances"
+        assert len(lines) == 3
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestCurveRows:
+    def test_flattening(self):
+        curve = ConvergenceCurve(label="x")
+        curve.append(EpochMetrics(epoch=0, iterations=5, wall_clock=0.1, rmse=0.9, error_rate=0.5))
+        rows = render_curve_rows(curve)
+        assert rows[0]["label"] == "x"
+        assert rows[0]["rmse"] == pytest.approx(0.9)

@@ -1,0 +1,106 @@
+"""Tests for Table 1 and the Figure 3/4/5 data builders."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig, RunSpec
+from repro.experiments.figures import figure3_data, figure4_data, figure5_data, headline_numbers
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import table1_rows
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """A small sweep with two concurrency levels on one smoke dataset."""
+    runs = [
+        RunSpec(dataset="news20_smoke", solver="sgd", num_workers=1, step_size=0.5, epochs=3, seed=0),
+    ]
+    for workers in (2, 4):
+        for solver in ("asgd", "is_asgd"):
+            runs.append(
+                RunSpec(dataset="news20_smoke", solver=solver, num_workers=workers,
+                        step_size=0.5, epochs=3, seed=0)
+            )
+    r = ExperimentRunner(ExperimentConfig(name="figtest", runs=runs, seed=0))
+    r.run()
+    return r
+
+
+class TestTable1:
+    def test_rows_for_smoke_datasets(self):
+        rows = table1_rows(["news20_smoke", "url_smoke"], seed=0)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["Dimension"] > 0
+            assert row["Instances"] > 0
+            assert 0.0 < row["GradSparsity"] < 1.0
+            assert 0.0 < row["psi"] <= 1.0
+            assert row["rho"] >= 0.0
+            assert "paper_psi" in row
+
+    def test_density_ordering_matches_paper(self):
+        rows = table1_rows(["news20_smoke", "kdd_bridge_smoke"], seed=0)
+        by_name = {r["Name"]: r for r in rows}
+        assert (
+            by_name["news20_smoke"]["GradSparsity"]
+            > by_name["kdd_bridge_smoke"]["GradSparsity"]
+        )
+
+    def test_conflict_degree_column_optional(self):
+        rows = table1_rows(["news20_smoke"], seed=0, include_conflict_degree=True)
+        assert "avg_conflict_degree" in rows[0]
+
+
+class TestFigure3:
+    def test_one_panel_per_dataset_and_concurrency(self, runner):
+        panels = figure3_data(runner)
+        keys = {(p.dataset, p.num_workers) for p in panels}
+        assert keys == {("news20_smoke", 2), ("news20_smoke", 4)}
+
+    def test_every_panel_has_sgd_and_async_curves(self, runner):
+        for panel in figure3_data(runner):
+            assert {"sgd", "asgd", "is_asgd"} <= set(panel.curves)
+
+    def test_curves_have_epoch_axis(self, runner):
+        panel = figure3_data(runner)[0]
+        assert len(panel.curves["is_asgd"].epochs) == 3
+
+
+class TestFigure4:
+    def test_annotations_present(self, runner):
+        panels = figure4_data(runner)
+        for panel in panels:
+            assert "asgd_optimum_error" in panel.annotations
+            # IS-ASGD should reach the target that ASGD itself reached.
+            assert "asgd_time_to_optimum" in panel.annotations
+
+    def test_wall_clock_axis_positive(self, runner):
+        for panel in figure4_data(runner):
+            for curve in panel.curves.values():
+                assert curve.total_time > 0.0
+
+
+class TestFigure5:
+    def test_slices_cover_both_baselines(self, runner):
+        slices = figure5_data(runner)
+        baselines = {s.baseline for s in slices}
+        assert baselines == {"asgd", "sgd"}
+
+    def test_slices_have_points(self, runner):
+        for sl in figure5_data(runner, targets_per_slice=6):
+            assert len(sl.points) == 6
+
+
+class TestHeadline:
+    def test_structure(self, runner):
+        numbers = headline_numbers(runner)
+        assert "optimum_speedup_over_asgd" in numbers
+        assert "raw_speedup_over_sgd" in numbers
+        assert numbers["paper_reference"]["optimum_speedup_over_asgd"] == (1.13, 1.54)
+        overhead = numbers["is_sampling_overhead"]
+        assert overhead is not None and overhead["max"] < 0.5
+
+    def test_raw_speedup_over_sgd_exceeds_one(self, runner):
+        numbers = headline_numbers(runner)
+        raw = numbers["raw_speedup_over_sgd"]
+        assert raw is not None
+        assert raw["max"] > 1.0

@@ -1,0 +1,44 @@
+"""Tests for conflict-graph colouring."""
+
+import numpy as np
+import pytest
+
+from repro.graph.coloring import color_class_sizes, greedy_conflict_coloring, num_colors
+from repro.graph.conflict import pairwise_conflicts
+from repro.sparse.csr import CSRMatrix
+
+
+class TestGreedyColoring:
+    def test_proper_coloring(self, small_dataset):
+        X, _, _ = small_dataset
+        coloring = greedy_conflict_coloring(X)
+        # No two conflicting rows share a colour.
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, X.n_rows, size=(200, 2))
+        for i, j in pairs:
+            if i != j and pairwise_conflicts(X, int(i), int(j)):
+                assert coloring[int(i)] != coloring[int(j)]
+
+    def test_every_row_colored(self, small_dataset):
+        X, _, _ = small_dataset
+        coloring = greedy_conflict_coloring(X)
+        assert set(coloring) == set(range(X.n_rows))
+
+    def test_disjoint_rows_one_color(self):
+        X = CSRMatrix.from_dense(np.eye(5))
+        coloring = greedy_conflict_coloring(X)
+        assert num_colors(coloring) == 1
+
+    def test_clique_needs_as_many_colors_as_rows(self):
+        X = CSRMatrix.from_dense(np.ones((4, 1)))
+        coloring = greedy_conflict_coloring(X)
+        assert num_colors(coloring) == 4
+
+    def test_class_sizes_sum_to_rows(self, small_dataset):
+        X, _, _ = small_dataset
+        coloring = greedy_conflict_coloring(X)
+        assert sum(color_class_sizes(coloring)) == X.n_rows
+
+    def test_empty_inputs(self):
+        assert num_colors({}) == 0
+        assert color_class_sizes({}) == []

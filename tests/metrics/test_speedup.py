@@ -1,0 +1,98 @@
+"""Tests for the speedup computations behind Figures 4 and 5."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.convergence import ConvergenceCurve, EpochMetrics
+from repro.metrics.speedup import (
+    SpeedupPoint,
+    average_speedup,
+    optimum_speedup,
+    reachable_targets,
+    speedup_at_targets,
+    speedup_slices,
+    time_to_target,
+)
+
+
+def _curve(error_rates, times):
+    curve = ConvergenceCurve()
+    for k, (e, t) in enumerate(zip(error_rates, times)):
+        curve.append(EpochMetrics(epoch=k, iterations=k, wall_clock=t, rmse=e + 1.0, error_rate=e))
+    return curve
+
+
+@pytest.fixture()
+def fast_and_slow():
+    # Both reach 0.1; the fast one does so in half the time.
+    fast = _curve([0.5, 0.3, 0.1], [1.0, 2.0, 3.0])
+    slow = _curve([0.5, 0.3, 0.1], [2.0, 4.0, 6.0])
+    return fast, slow
+
+
+class TestTimeToTarget:
+    def test_basic(self, fast_and_slow):
+        fast, slow = fast_and_slow
+        assert time_to_target(fast, 0.3) == pytest.approx(2.0)
+        assert time_to_target(slow, 0.3) == pytest.approx(4.0)
+
+    def test_unreachable_is_none(self, fast_and_slow):
+        fast, _ = fast_and_slow
+        assert time_to_target(fast, 0.0) is None
+
+
+class TestSpeedupPoints:
+    def test_speedup_value(self, fast_and_slow):
+        fast, slow = fast_and_slow
+        points = speedup_at_targets(fast, slow, [0.3, 0.1])
+        assert all(p.speedup == pytest.approx(2.0) for p in points)
+
+    def test_undefined_speedup(self, fast_and_slow):
+        fast, slow = fast_and_slow
+        point = speedup_at_targets(fast, slow, [0.0])[0]
+        assert point.speedup is None
+
+    def test_average_speedup(self, fast_and_slow):
+        fast, slow = fast_and_slow
+        points = speedup_at_targets(fast, slow, [0.4, 0.3, 0.2])
+        assert average_speedup(points) == pytest.approx(2.0)
+
+    def test_average_speedup_empty(self):
+        assert average_speedup([SpeedupPoint(target=0.1, time_fast=None, time_slow=1.0)]) is None
+
+
+class TestReachableTargets:
+    def test_targets_within_common_range(self, fast_and_slow):
+        fast, slow = fast_and_slow
+        targets = reachable_targets([fast, slow], count=5)
+        assert targets.max() <= 0.5
+        assert targets.min() >= 0.1
+        # Decreasing difficulty order.
+        assert np.all(np.diff(targets) <= 0)
+
+    def test_respects_worse_curve(self):
+        good = _curve([0.5, 0.05], [1.0, 2.0])
+        bad = _curve([0.5, 0.2], [1.0, 2.0])
+        targets = reachable_targets([good, bad], count=4)
+        assert targets.min() >= 0.2
+
+
+class TestSlicesAndOptimum:
+    def test_slices_all_defined(self, fast_and_slow):
+        fast, slow = fast_and_slow
+        points = speedup_slices(fast, slow, count=6)
+        assert len(points) == 6
+        assert all(p.speedup is not None for p in points)
+        assert average_speedup(points) == pytest.approx(2.0)
+
+    def test_optimum_speedup_uses_slow_optimum(self, fast_and_slow):
+        fast, slow = fast_and_slow
+        point = optimum_speedup(fast, slow)
+        assert point.target == pytest.approx(0.1)
+        assert point.speedup == pytest.approx(2.0)
+
+    def test_optimum_speedup_when_fast_cannot_reach(self):
+        fast = _curve([0.5, 0.3], [1.0, 2.0])
+        slow = _curve([0.5, 0.1], [2.0, 4.0])
+        point = optimum_speedup(fast, slow)
+        assert point.speedup is None

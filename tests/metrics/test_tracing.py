@@ -1,0 +1,50 @@
+"""Tests for the run-level record."""
+
+import pytest
+
+from repro.async_engine.events import EpochEvent, ExecutionTrace
+from repro.metrics.convergence import ConvergenceCurve, EpochMetrics
+from repro.metrics.tracing import RunRecord
+
+
+def _record():
+    curve = ConvergenceCurve(label="r")
+    curve.append(EpochMetrics(epoch=0, iterations=10, wall_clock=1.0, rmse=0.8, error_rate=0.4))
+    curve.append(EpochMetrics(epoch=1, iterations=20, wall_clock=2.0, rmse=0.5, error_rate=0.2))
+    trace = ExecutionTrace()
+    e = EpochEvent(epoch=0)
+    e.merge_iteration(grad_nnz=5, dense_coords=0, conflicts=1, delay=1)
+    trace.add_epoch(e)
+    return RunRecord(
+        solver="is_asgd",
+        dataset="news20",
+        num_workers=8,
+        curve=curve,
+        trace=trace,
+        info={"rho": 0.1, "note": "x", "nested": {"ignored": 1}},
+    )
+
+
+class TestRunRecord:
+    def test_label(self):
+        assert _record().label == "is_asgd[news20, T=8]"
+
+    def test_summary_core_fields(self):
+        s = _record().summary()
+        assert s["solver"] == "is_asgd"
+        assert s["num_workers"] == 8
+        assert s["best_error_rate"] == pytest.approx(0.2)
+        assert s["total_time"] == pytest.approx(2.0)
+        assert s["conflict_rate"] == pytest.approx(1.0)
+
+    def test_summary_includes_scalar_info_only(self):
+        s = _record().summary()
+        assert s["rho"] == pytest.approx(0.1)
+        assert s["note"] == "x"
+        assert "nested" not in s
+
+    def test_trace_optional(self):
+        record = _record()
+        record.trace = None
+        s = record.summary()
+        assert "conflict_rate" not in s

@@ -1,0 +1,98 @@
+"""Tests for the hinge and least-squares objectives."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.hinge import HingeObjective
+from repro.objectives.least_squares import LeastSquaresObjective
+from repro.objectives.regularizers import L2Regularizer
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture()
+def cls_toy():
+    X = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0], [1.0, 1.0]]))
+    y = np.array([1.0, -1.0, 1.0])
+    return X, y
+
+
+class TestHinge:
+    def test_loss_values(self, cls_toy):
+        X, y = cls_toy
+        obj = HingeObjective()
+        assert obj.sample_loss(np.zeros(2), *X.row(0), y[0]) == pytest.approx(1.0)
+        assert obj.sample_loss(np.array([2.0, 0.0]), *X.row(0), y[0]) == 0.0
+
+    def test_subgradient_active_region(self, cls_toy):
+        X, y = cls_toy
+        obj = HingeObjective()
+        grad = obj.sample_grad(np.zeros(2), *X.row(0), y[0])
+        np.testing.assert_allclose(grad.values, [-1.0])
+
+    def test_subgradient_inactive_region(self, cls_toy):
+        X, y = cls_toy
+        obj = HingeObjective()
+        grad = obj.sample_grad(np.array([5.0, 0.0]), *X.row(0), y[0])
+        np.testing.assert_allclose(grad.values, [0.0])
+
+    def test_lipschitz_uses_row_norms(self, cls_toy):
+        X, y = cls_toy
+        obj = HingeObjective()
+        np.testing.assert_allclose(obj.lipschitz_constants(X), X.row_norms())
+
+    def test_full_loss_vectorised_matches_scalar(self, cls_toy):
+        X, y = cls_toy
+        obj = HingeObjective()
+        w = np.array([0.2, -0.1])
+        expected = np.mean([obj.sample_loss(w, *X.row(i), y[i]) for i in range(X.n_rows)])
+        assert obj.full_loss(w, X, y) == pytest.approx(expected)
+
+
+class TestLeastSquares:
+    def test_loss_is_half_squared_residual(self):
+        X = CSRMatrix.from_dense(np.array([[2.0]]))
+        obj = LeastSquaresObjective()
+        assert obj.sample_loss(np.array([1.0]), *X.row(0), 5.0) == pytest.approx(0.5 * 9.0)
+
+    def test_gradient_matches_finite_difference(self):
+        X = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        y = np.array([1.0, -2.0])
+        obj = LeastSquaresObjective.ridge(0.1)
+        w = np.array([0.4, -0.3])
+        eps = 1e-6
+        for i in range(2):
+            idx, val = X.row(i)
+            grad = obj.sample_grad_dense(w, idx, val, y[i])
+            for j in range(2):
+                wp, wm = w.copy(), w.copy()
+                wp[j] += eps
+                wm[j] -= eps
+                fd = (
+                    (obj.sample_loss(wp, idx, val, y[i]) + obj.regularizer.value(wp))
+                    - (obj.sample_loss(wm, idx, val, y[i]) + obj.regularizer.value(wm))
+                ) / (2 * eps)
+                assert grad[j] == pytest.approx(fd, abs=1e-5)
+
+    def test_solve_exact_minimises_objective(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(30, 4))
+        w_true = np.array([1.0, -2.0, 0.5, 0.0])
+        y = dense @ w_true
+        X = CSRMatrix.from_dense(dense)
+        obj = LeastSquaresObjective.ridge(1e-8)
+        w_star = obj.solve_exact(X, y)
+        np.testing.assert_allclose(w_star, w_true, atol=1e-4)
+        # Perturbations should not decrease the objective.
+        base = obj.full_loss(w_star, X, y)
+        for _ in range(5):
+            assert obj.full_loss(w_star + 0.01 * rng.normal(size=4), X, y) >= base - 1e-12
+
+    def test_error_rate_is_normalised_mse(self):
+        X = CSRMatrix.from_dense(np.array([[1.0], [1.0]]))
+        y = np.array([1.0, -1.0])
+        obj = LeastSquaresObjective()
+        # predictions are 0 -> mse = 1, mean(y^2) = 1 -> ratio 1
+        assert obj.error_rate(np.zeros(1), X, y) == pytest.approx(1.0)
+
+    def test_is_regression_not_classification(self):
+        assert LeastSquaresObjective().is_classification is False

@@ -1,0 +1,129 @@
+"""Tests for the logistic (cross-entropy) objective."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.logistic import LogisticObjective, _log1pexp, _sigmoid
+from repro.objectives.regularizers import L1Regularizer, L2Regularizer
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture()
+def toy():
+    X = CSRMatrix.from_dense(np.array([[1.0, 0.0, 2.0], [0.0, -1.0, 0.5], [3.0, 0.0, 0.0]]))
+    y = np.array([1.0, -1.0, 1.0])
+    return X, y
+
+
+class TestNumericHelpers:
+    def test_log1pexp_stable_large_positive(self):
+        assert _log1pexp(1000.0) == pytest.approx(1000.0)
+
+    def test_log1pexp_matches_naive_for_moderate(self):
+        z = 3.0
+        assert _log1pexp(z) == pytest.approx(np.log1p(np.exp(z)))
+
+    def test_sigmoid_range(self):
+        vals = _sigmoid(np.array([-50.0, 0.0, 50.0]))
+        assert vals[0] == pytest.approx(0.0, abs=1e-10)
+        assert vals[1] == pytest.approx(0.5)
+        assert vals[2] == pytest.approx(1.0, abs=1e-10)
+
+
+class TestSampleLossAndGrad:
+    def test_loss_at_zero_weights(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        w = np.zeros(3)
+        assert obj.sample_loss(w, *X.row(0), y[0]) == pytest.approx(np.log(2))
+
+    def test_gradient_matches_finite_difference(self, toy):
+        X, y = toy
+        obj = LogisticObjective(regularizer=L2Regularizer(0.1))
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=3)
+        for i in range(X.n_rows):
+            idx, val = X.row(i)
+            grad = obj.sample_grad_dense(w, idx, val, y[i])
+            eps = 1e-6
+            for j in range(3):
+                wp, wm = w.copy(), w.copy()
+                wp[j] += eps
+                wm[j] -= eps
+                fd = (
+                    (obj.sample_loss(wp, idx, val, y[i]) + obj.regularizer.value(wp))
+                    - (obj.sample_loss(wm, idx, val, y[i]) + obj.regularizer.value(wm))
+                ) / (2 * eps)
+                assert grad[j] == pytest.approx(fd, abs=1e-5)
+
+    def test_sparse_grad_support_is_sample_support(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        grad = obj.sample_grad(np.zeros(3), *X.row(0), y[0])
+        np.testing.assert_array_equal(grad.indices, X.row(0)[0])
+
+    def test_grad_direction_reduces_loss(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        w = np.zeros(3)
+        i = 0
+        idx, val = X.row(i)
+        grad = obj.sample_grad(w, idx, val, y[i])
+        w_new = w.copy()
+        np.add.at(w_new, grad.indices, -0.1 * grad.values)
+        assert obj.sample_loss(w_new, idx, val, y[i]) < obj.sample_loss(w, idx, val, y[i])
+
+
+class TestFullObjective:
+    def test_full_loss_at_zero(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        assert obj.full_loss(np.zeros(3), X, y) == pytest.approx(np.log(2))
+
+    def test_full_gradient_matches_mean_of_samples(self, toy):
+        X, y = toy
+        obj = LogisticObjective(regularizer=L2Regularizer(0.05))
+        w = np.array([0.3, -0.2, 0.1])
+        expected = np.mean(
+            [obj.sample_grad_dense(w, *X.row(i), y[i]) for i in range(X.n_rows)], axis=0
+        )
+        # sample_grad_dense includes the full regulariser per sample; the mean
+        # over samples therefore equals full_gradient exactly.
+        np.testing.assert_allclose(obj.full_gradient(w, X, y), expected, atol=1e-12)
+
+    def test_rmse_is_sqrt_of_loss(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        w = np.zeros(3)
+        assert obj.rmse(w, X, y) == pytest.approx(np.sqrt(np.log(2)))
+
+    def test_error_rate_and_predict(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        # A weight vector separating the toy problem: margins are 1, -1, 3.
+        w = np.array([1.0, 1.0, 0.0])
+        assert obj.error_rate(w, X, y) == 0.0
+        preds = obj.predict(w, X)
+        np.testing.assert_array_equal(preds, y)
+
+    def test_predict_proba_in_unit_interval(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        p = obj.predict_proba(np.ones(3), X)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestLipschitz:
+    def test_quarter_smoothness(self):
+        assert LogisticObjective().smoothness_coefficient() == 0.25
+
+    def test_constants_scale_with_row_norms(self, toy):
+        X, y = toy
+        obj = LogisticObjective()
+        L = obj.lipschitz_constants(X, y)
+        np.testing.assert_allclose(L, 0.25 * X.row_norms(squared=True))
+
+    def test_l1_factory(self):
+        obj = LogisticObjective.l1_regularized(0.01)
+        assert isinstance(obj.regularizer, L1Regularizer)
+        assert obj.regularizer.eta == pytest.approx(0.01)

@@ -1,0 +1,44 @@
+"""Tests for the objective registry."""
+
+import pytest
+
+from repro.objectives.base import Objective
+from repro.objectives.logistic import LogisticObjective
+from repro.objectives.registry import available_objectives, make_objective, register_objective
+from repro.objectives.regularizers import L1Regularizer, L2Regularizer
+
+
+class TestRegistry:
+    def test_available_contains_paper_objectives(self):
+        names = available_objectives()
+        assert "logistic_l1" in names
+        assert "squared_hinge_l2" in names
+
+    def test_make_logistic_l1(self):
+        obj = make_objective("logistic_l1", eta=0.01)
+        assert isinstance(obj, LogisticObjective)
+        assert isinstance(obj.regularizer, L1Regularizer)
+        assert obj.regularizer.eta == pytest.approx(0.01)
+
+    def test_make_ridge(self):
+        obj = make_objective("ridge", eta=0.5)
+        assert isinstance(obj.regularizer, L2Regularizer)
+
+    def test_every_registered_name_constructs(self):
+        for name in available_objectives():
+            obj = make_objective(name, eta=1e-3)
+            assert isinstance(obj, Objective)
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(ValueError, match="available"):
+            make_objective("nope")
+
+    def test_register_custom(self):
+        register_objective("custom_logistic", lambda eta: LogisticObjective())
+        try:
+            assert isinstance(make_objective("custom_logistic"), LogisticObjective)
+        finally:
+            # Clean up the registry for other tests.
+            from repro.objectives import registry
+
+            registry._FACTORIES.pop("custom_logistic", None)

@@ -1,0 +1,85 @@
+"""Tests for repro.objectives.regularizers."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.regularizers import (
+    ElasticNetRegularizer,
+    L1Regularizer,
+    L2Regularizer,
+    NoRegularizer,
+)
+
+
+class TestNoRegularizer:
+    def test_value_zero(self):
+        assert NoRegularizer().value(np.ones(5)) == 0.0
+
+    def test_grad_zero(self):
+        grad = NoRegularizer().grad_coords(np.ones(5), np.array([0, 2]))
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_lipschitz_zero(self):
+        assert NoRegularizer().lipschitz_bound(1.0) == 0.0
+
+    def test_no_strong_convexity(self):
+        assert NoRegularizer().strong_convexity == 0.0
+
+
+class TestL2Regularizer:
+    def test_value(self):
+        reg = L2Regularizer(0.5)
+        w = np.array([1.0, 2.0])
+        assert reg.value(w) == pytest.approx(0.25 * 5.0)
+
+    def test_grad_restricted_to_indices(self):
+        reg = L2Regularizer(2.0)
+        w = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(reg.grad_coords(w, np.array([0, 2])), [2.0, 6.0])
+
+    def test_grad_dense_matches_analytic(self):
+        reg = L2Regularizer(3.0)
+        w = np.array([1.0, -1.0])
+        np.testing.assert_allclose(reg.grad_dense(w), 3.0 * w)
+
+    def test_strong_convexity_equals_eta(self):
+        assert L2Regularizer(0.7).strong_convexity == pytest.approx(0.7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            L2Regularizer(0.0)
+
+
+class TestL1Regularizer:
+    def test_value(self):
+        assert L1Regularizer(2.0).value(np.array([1.0, -3.0])) == pytest.approx(8.0)
+
+    def test_subgradient_sign(self):
+        reg = L1Regularizer(1.0)
+        w = np.array([2.0, -5.0, 0.0])
+        np.testing.assert_allclose(reg.grad_coords(w, np.arange(3)), [1.0, -1.0, 0.0])
+
+    def test_lipschitz_bound_is_eta(self):
+        assert L1Regularizer(0.3).lipschitz_bound(10.0) == pytest.approx(0.3)
+
+    def test_no_strong_convexity(self):
+        assert L1Regularizer(1.0).strong_convexity == 0.0
+
+
+class TestElasticNet:
+    def test_combines_both_penalties(self):
+        reg = ElasticNetRegularizer(1.0, 2.0)
+        w = np.array([1.0, -2.0])
+        assert reg.value(w) == pytest.approx(3.0 + 5.0)
+
+    def test_grad(self):
+        reg = ElasticNetRegularizer(1.0, 2.0)
+        w = np.array([3.0, -1.0])
+        np.testing.assert_allclose(reg.grad_coords(w, np.arange(2)), [1.0 + 6.0, -1.0 - 2.0])
+
+    def test_rejects_both_zero(self):
+        with pytest.raises(ValueError):
+            ElasticNetRegularizer(0.0, 0.0)
+
+    def test_strong_convexity_from_l2_part(self):
+        assert ElasticNetRegularizer(1.0, 0.5).strong_convexity == pytest.approx(0.5)

@@ -1,0 +1,98 @@
+"""Tests for the squared-hinge SVM objective (paper Eq. 16)."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.regularizers import L2Regularizer
+from repro.objectives.squared_hinge import SquaredHingeObjective
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture()
+def toy():
+    X = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0], [-1.0, 1.0]]))
+    y = np.array([1.0, -1.0, 1.0])
+    return X, y
+
+
+class TestLoss:
+    def test_zero_loss_when_margin_large(self, toy):
+        X, y = toy
+        obj = SquaredHingeObjective()
+        w = np.array([5.0, -5.0])
+        assert obj.sample_loss(w, *X.row(0), y[0]) == 0.0
+
+    def test_loss_at_zero_weights(self, toy):
+        X, y = toy
+        obj = SquaredHingeObjective()
+        assert obj.sample_loss(np.zeros(2), *X.row(0), y[0]) == pytest.approx(1.0)
+
+    def test_quadratic_growth(self):
+        obj = SquaredHingeObjective()
+        X = CSRMatrix.from_dense(np.array([[1.0]]))
+        # margin = -1 -> slack = 2 -> loss = 4
+        assert obj.sample_loss(np.array([-1.0]), *X.row(0), 1.0) == pytest.approx(4.0)
+
+
+class TestGradient:
+    def test_matches_finite_difference(self, toy):
+        X, y = toy
+        obj = SquaredHingeObjective.l2_regularized(0.1)
+        rng = np.random.default_rng(1)
+        w = rng.normal(scale=0.3, size=2)
+        for i in range(X.n_rows):
+            idx, val = X.row(i)
+            grad = obj.sample_grad_dense(w, idx, val, y[i])
+            eps = 1e-6
+            for j in range(2):
+                wp, wm = w.copy(), w.copy()
+                wp[j] += eps
+                wm[j] -= eps
+                fd = (
+                    (obj.sample_loss(wp, idx, val, y[i]) + obj.regularizer.value(wp))
+                    - (obj.sample_loss(wm, idx, val, y[i]) + obj.regularizer.value(wm))
+                ) / (2 * eps)
+                assert grad[j] == pytest.approx(fd, abs=1e-5)
+
+    def test_zero_gradient_in_flat_region(self, toy):
+        X, y = toy
+        obj = SquaredHingeObjective()
+        w = np.array([10.0, -10.0])
+        grad = obj.sample_grad(w, *X.row(0), y[0])
+        np.testing.assert_allclose(grad.values, 0.0)
+
+
+class TestLipschitzAndBounds:
+    def test_smoothness_coefficient(self):
+        assert SquaredHingeObjective().smoothness_coefficient() == 2.0
+
+    def test_eq16_bound_formula(self, toy):
+        X, y = toy
+        lam = 0.25
+        obj = SquaredHingeObjective.l2_regularized(lam)
+        bounds = obj.gradient_norm_bounds(X)
+        norms = X.row_norms()
+        expected = 2.0 * (1.0 + norms / np.sqrt(lam)) * norms + np.sqrt(lam)
+        np.testing.assert_allclose(bounds, expected)
+
+    def test_eq16_bound_actually_bounds_gradients(self, toy):
+        X, y = toy
+        lam = 0.5
+        obj = SquaredHingeObjective.l2_regularized(lam)
+        bounds = obj.gradient_norm_bounds(X)
+        rng = np.random.default_rng(0)
+        # For ||w|| <= 1 the bound of Eq. 16 should dominate the actual norms.
+        for _ in range(20):
+            w = rng.normal(size=2)
+            w = w / max(np.linalg.norm(w), 1.0)
+            for i in range(X.n_rows):
+                g = obj.sample_grad_dense(w, *X.row(i), y[i])
+                assert np.linalg.norm(g) <= bounds[i] + 1e-9
+
+    def test_generic_bound_without_l2(self, toy):
+        X, y = toy
+        obj = SquaredHingeObjective()
+        # Falls back to R * L_i
+        np.testing.assert_allclose(
+            obj.gradient_norm_bounds(X, radius=2.0), 2.0 * obj.lipschitz_constants(X)
+        )

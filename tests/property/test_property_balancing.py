@@ -1,0 +1,86 @@
+"""Property-based tests for importance balancing and partitioning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancing import head_tail_order, imbalance_ratio, importance_mass
+from repro.core.partition import partition_dataset
+from repro.sparse.stats import psi, rho
+
+
+lipschitz_arrays = st.lists(
+    st.floats(min_value=1e-3, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=4,
+    max_size=60,
+)
+
+
+class TestHeadTailProperties:
+    @given(lipschitz_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_head_tail_is_permutation(self, values):
+        L = np.array(values)
+        order = head_tail_order(L)
+        assert sorted(order.tolist()) == list(range(L.size))
+
+    @given(lipschitz_arrays, st.integers(2, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_balancing_never_worse_than_sorted_order(self, values, workers):
+        """Head-tail ordering must not be (meaningfully) worse than the
+        adversarial sorted order; a relative tolerance absorbs floating-point
+        ties when one sample dominates the total mass."""
+        L = np.array(values)
+        workers = min(workers, L.size)
+        bounds = np.linspace(0, L.size, workers + 1).astype(np.int64)
+        sorted_imb = imbalance_ratio(np.sort(L), bounds)
+        balanced_imb = imbalance_ratio(L[head_tail_order(L)], bounds)
+        assert balanced_imb <= sorted_imb * (1.0 + 1e-9) + 1e-9
+
+    @given(lipschitz_arrays, st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_total_mass_preserved_by_any_partition(self, values, workers):
+        L = np.array(values)
+        workers = min(workers, L.size)
+        order = head_tail_order(L)
+        bounds = np.linspace(0, L.size, workers + 1).astype(np.int64)
+        masses = importance_mass(L[order], bounds)
+        assert abs(masses.sum() - L.sum()) < 1e-6 * max(1.0, L.sum())
+
+
+class TestPartitionProperties:
+    @given(lipschitz_arrays, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_covers_every_row_exactly_once(self, values, workers):
+        L = np.array(values)
+        partition = partition_dataset(np.arange(L.size), L, num_workers=workers)
+        covered = np.concatenate([s.row_indices for s in partition.shards])
+        assert sorted(covered.tolist()) == list(range(L.size))
+
+    @given(lipschitz_arrays, st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_local_probabilities_are_distributions(self, values, workers):
+        L = np.array(values)
+        partition = partition_dataset(np.arange(L.size), L, num_workers=workers)
+        for shard in partition.shards:
+            assert abs(shard.probabilities.sum() - 1.0) < 1e-9
+            assert np.all(shard.probabilities >= 0)
+
+
+class TestStatsProperties:
+    @given(lipschitz_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_psi_in_unit_interval(self, values):
+        value = psi(np.array(values))
+        assert 0.0 < value <= 1.0 + 1e-12
+
+    @given(lipschitz_arrays, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_psi_scale_invariant(self, values, scale):
+        L = np.array(values)
+        assert abs(psi(L) - psi(scale * L)) < 1e-9
+
+    @given(lipschitz_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_rho_non_negative(self, values):
+        assert rho(np.array(values)) >= 0.0

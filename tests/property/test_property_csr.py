@@ -1,0 +1,69 @@
+"""Property-based tests for the CSR matrix container."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+
+
+@st.composite
+def dense_matrices(draw, max_rows=8, max_cols=10):
+    """Small random dense matrices with a controlled fraction of zeros."""
+    n_rows = draw(st.integers(1, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False),
+            min_size=n_rows * n_cols,
+            max_size=n_rows * n_cols,
+        )
+    )
+    mask = draw(
+        st.lists(st.booleans(), min_size=n_rows * n_cols, max_size=n_rows * n_cols)
+    )
+    dense = np.array(values).reshape(n_rows, n_cols)
+    dense[np.array(mask).reshape(n_rows, n_cols)] = 0.0
+    return dense
+
+
+class TestRoundTripProperties:
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_roundtrip(self, dense):
+        mat = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(mat.to_dense(), dense)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_nnz_matches_nonzero_count(self, dense):
+        mat = CSRMatrix.from_dense(dense)
+        assert mat.nnz == int(np.count_nonzero(dense))
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_dot_matches_dense(self, dense):
+        mat = CSRMatrix.from_dense(dense)
+        w = np.linspace(-1.0, 1.0, dense.shape[1])
+        np.testing.assert_allclose(mat.dot(w), dense @ w, atol=1e-9)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_dot_matches_dense(self, dense):
+        mat = CSRMatrix.from_dense(dense)
+        v = np.linspace(1.0, 2.0, dense.shape[0])
+        np.testing.assert_allclose(mat.transpose_dot(v), dense.T @ v, atol=1e-9)
+
+    @given(dense_matrices(), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_take_rows_permutation_preserves_content(self, dense, rand):
+        mat = CSRMatrix.from_dense(dense)
+        order = list(range(dense.shape[0]))
+        rand.shuffle(order)
+        np.testing.assert_allclose(mat.take_rows(order).to_dense(), dense[order])
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_row_norms_match_dense(self, dense):
+        mat = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(mat.row_norms(), np.linalg.norm(dense, axis=1), atol=1e-9)

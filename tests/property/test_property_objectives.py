@@ -1,0 +1,92 @@
+"""Property-based tests for the objective functions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objectives.hinge import HingeObjective
+from repro.objectives.least_squares import LeastSquaresObjective
+from repro.objectives.logistic import LogisticObjective
+from repro.objectives.squared_hinge import SquaredHingeObjective
+from repro.sparse.csr import CSRMatrix
+
+
+@st.composite
+def sample_and_weights(draw, dim=6):
+    """A single sparse sample, a label and a weight vector."""
+    support_cols = draw(st.lists(st.integers(0, dim - 1), min_size=1, max_size=dim, unique=True))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-3, max_value=3, allow_nan=False, allow_infinity=False),
+            min_size=len(support_cols),
+            max_size=len(support_cols),
+        )
+    )
+    w = draw(
+        st.lists(
+            st.floats(min_value=-2, max_value=2, allow_nan=False, allow_infinity=False),
+            min_size=dim,
+            max_size=dim,
+        )
+    )
+    label = draw(st.sampled_from([-1.0, 1.0]))
+    return (
+        np.array(sorted(support_cols), dtype=np.int64),
+        np.array(values),
+        np.array(w),
+        label,
+    )
+
+
+OBJECTIVES = [LogisticObjective(), SquaredHingeObjective(), HingeObjective()]
+
+
+class TestLossProperties:
+    @given(sample_and_weights())
+    @settings(max_examples=60, deadline=None)
+    def test_losses_non_negative(self, data):
+        idx, val, w, y = data
+        for obj in OBJECTIVES:
+            assert obj.sample_loss(w, idx, val, y) >= 0.0
+
+    @given(sample_and_weights())
+    @settings(max_examples=60, deadline=None)
+    def test_gradient_support_is_sample_support(self, data):
+        idx, val, w, y = data
+        for obj in OBJECTIVES:
+            grad = obj.sample_grad(w, idx, val, y)
+            np.testing.assert_array_equal(grad.indices, idx)
+            assert grad.values.shape == idx.shape
+
+    @given(sample_and_weights())
+    @settings(max_examples=40, deadline=None)
+    def test_logistic_gradient_matches_finite_difference(self, data):
+        idx, val, w, y = data
+        obj = LogisticObjective()
+        grad = obj.sample_grad_dense(w, idx, val, y)
+        eps = 1e-6
+        for j in idx[: min(3, idx.size)]:
+            wp, wm = w.copy(), w.copy()
+            wp[j] += eps
+            wm[j] -= eps
+            fd = (obj.sample_loss(wp, idx, val, y) - obj.sample_loss(wm, idx, val, y)) / (2 * eps)
+            assert abs(grad[j] - fd) < 1e-4
+
+    @given(sample_and_weights())
+    @settings(max_examples=60, deadline=None)
+    def test_lipschitz_constants_non_negative_and_bound_gradient_growth(self, data):
+        idx, val, w, y = data
+        X = CSRMatrix.from_rows([(idx, val)], n_cols=w.size)
+        for obj in OBJECTIVES:
+            L = obj.lipschitz_constants(X)
+            assert L.shape == (1,)
+            assert L[0] >= 0.0
+
+    @given(sample_and_weights())
+    @settings(max_examples=40, deadline=None)
+    def test_least_squares_loss_zero_iff_exact_fit(self, data):
+        idx, val, w, _ = data
+        obj = LeastSquaresObjective()
+        target = float(np.dot(val, w[idx]))
+        assert obj.sample_loss(w, idx, val, target) < 1e-12
+        assert obj.sample_loss(w, idx, val, target + 1.0) > 0.0

@@ -1,0 +1,56 @@
+"""Tests for Problem and the solver base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.logistic import LogisticObjective
+from repro.solvers.base import Problem
+from repro.solvers.sgd import SGDSolver
+from repro.sparse.csr import CSRMatrix
+
+
+class TestProblem:
+    def test_dimensions(self, small_problem):
+        assert small_problem.n_samples == small_problem.X.n_rows
+        assert small_problem.n_features == small_problem.X.n_cols
+
+    def test_label_length_checked(self, small_dataset):
+        X, y, _ = small_dataset
+        with pytest.raises(ValueError):
+            Problem(X=X, y=y[:-1], objective=LogisticObjective())
+
+    def test_lipschitz_cached(self, small_problem):
+        a = small_problem.lipschitz_constants()
+        b = small_problem.lipschitz_constants()
+        assert a is b
+
+    def test_recorder_evaluates_on_training_set(self, small_problem):
+        recorder = small_problem.recorder(label="x")
+        w = np.zeros(small_problem.n_features)
+        m = recorder.record(epoch=0, iterations=0, wall_clock=0.0, weights=w)
+        assert m.rmse == pytest.approx(np.sqrt(np.log(2)), rel=1e-6)
+
+
+class TestRecordEvery:
+    def test_record_every_thins_curve_but_keeps_last(self, small_problem):
+        dense = SGDSolver(step_size=0.3, epochs=6, seed=0, record_every=1).fit(small_problem)
+        thin = SGDSolver(step_size=0.3, epochs=6, seed=0, record_every=3).fit(small_problem)
+        assert len(dense.curve) == 6
+        assert len(thin.curve) < 6
+        # The final epoch is always recorded.
+        assert thin.curve.epochs[-1] == 5
+
+    def test_final_metrics_identical_regardless_of_thinning(self, small_problem):
+        dense = SGDSolver(step_size=0.3, epochs=4, seed=0, record_every=1).fit(small_problem)
+        thin = SGDSolver(step_size=0.3, epochs=4, seed=0, record_every=2).fit(small_problem)
+        assert dense.curve.rmse[-1] == pytest.approx(thin.curve.rmse[-1])
+
+
+class TestTrainResultSummary:
+    def test_summary_fields(self, small_problem):
+        result = SGDSolver(step_size=0.3, epochs=2, seed=0).fit(small_problem)
+        summary = result.summary()
+        assert summary["epochs"] == 2
+        assert summary["iterations"] == 2 * small_problem.n_samples
+        assert summary["conflict_rate"] == 0.0
+        assert result.final_error_rate == result.curve.final_error_rate

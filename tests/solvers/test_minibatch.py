@@ -1,0 +1,55 @@
+"""Tests for the mini-batch (IS-)SGD extension."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.minibatch import MiniBatchSGDSolver
+from repro.solvers.registry import available_solvers, make_solver
+from repro.solvers.sgd import SGDSolver
+
+
+class TestMiniBatchSGD:
+    def test_converges_with_and_without_is(self, small_problem):
+        for importance in (True, False):
+            result = MiniBatchSGDSolver(
+                step_size=0.3, epochs=5, batch_size=8, importance_sampling=importance, seed=0
+            ).fit(small_problem)
+            assert result.curve.rmse[-1] < result.curve.rmse[0]
+            assert result.info["importance_sampling"] is importance
+            assert result.info["batch_size"] == 8
+
+    def test_batch_size_one_matches_sgd_quality(self, small_problem):
+        mb = MiniBatchSGDSolver(step_size=0.3, epochs=5, batch_size=1,
+                                importance_sampling=False, seed=0).fit(small_problem)
+        sgd = SGDSolver(step_size=0.3, epochs=5, seed=0).fit(small_problem)
+        assert abs(mb.final_rmse - sgd.final_rmse) < 0.15
+
+    def test_larger_batches_smoother_curve(self, small_problem):
+        """Bigger batches reduce gradient variance: epoch-to-epoch RMSE changes shrink."""
+        small = MiniBatchSGDSolver(step_size=0.3, epochs=6, batch_size=2, seed=0).fit(small_problem)
+        large = MiniBatchSGDSolver(step_size=0.3, epochs=6, batch_size=32, seed=0).fit(small_problem)
+        jitter_small = float(np.mean(np.abs(np.diff(small.curve.rmse[2:]))))
+        jitter_large = float(np.mean(np.abs(np.diff(large.curve.rmse[2:]))))
+        assert jitter_large <= jitter_small + 0.02
+
+    def test_iterations_counted_per_batch(self, small_problem):
+        result = MiniBatchSGDSolver(step_size=0.3, epochs=2, batch_size=10, seed=0).fit(small_problem)
+        batches_per_epoch = small_problem.n_samples // 10
+        assert result.trace.epochs[0].iterations == batches_per_epoch
+
+    def test_reproducible(self, small_problem):
+        a = MiniBatchSGDSolver(step_size=0.3, epochs=3, batch_size=8, seed=7).fit(small_problem)
+        b = MiniBatchSGDSolver(step_size=0.3, epochs=3, batch_size=8, seed=7).fit(small_problem)
+        np.testing.assert_allclose(a.weights, b.weights)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MiniBatchSGDSolver(batch_size=0)
+        with pytest.raises(ValueError):
+            MiniBatchSGDSolver(step_clip=0.0)
+
+    def test_registered_in_solver_registry(self, small_problem):
+        assert "minibatch_sgd" in available_solvers()
+        solver = make_solver("minibatch_sgd", step_size=0.3, epochs=2, batch_size=4, seed=0)
+        result = solver.fit(small_problem)
+        assert result.solver == "minibatch_sgd"

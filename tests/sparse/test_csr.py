@@ -1,0 +1,180 @@
+"""Tests for repro.sparse.csr."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, vstack
+
+
+@pytest.fixture()
+def dense():
+    return np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0, 4.0, 5.0],
+            [6.0, 0.0, 0.0, 0.0, 7.0],
+        ]
+    )
+
+
+@pytest.fixture()
+def mat(dense):
+    return CSRMatrix.from_dense(dense)
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, dense, mat):
+        np.testing.assert_allclose(mat.to_dense(), dense)
+
+    def test_shape_and_nnz(self, mat):
+        assert mat.shape == (4, 5)
+        assert mat.nnz == 7
+        assert mat.density == pytest.approx(7 / 20)
+
+    def test_from_rows_sorts_and_merges_duplicates(self):
+        m = CSRMatrix.from_rows([([3, 1, 3], [1.0, 2.0, 4.0])], n_cols=5)
+        idx, val = m.row(0)
+        np.testing.assert_array_equal(idx, [1, 3])
+        np.testing.assert_allclose(val, [2.0, 5.0])
+
+    def test_from_rows_drops_zeros(self):
+        m = CSRMatrix.from_rows([([0, 1], [0.0, 2.0])], n_cols=3)
+        assert m.nnz == 1
+
+    def test_empty_matrix(self):
+        m = CSRMatrix.from_rows([], n_cols=4)
+        assert m.shape == (0, 4)
+        assert m.nnz == 0
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(data=np.ones(2), indices=np.array([0, 1]), indptr=np.array([0, 1]), n_cols=3)
+
+    def test_out_of_bounds_column_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_rows([([5], [1.0])], n_cols=3)
+
+    def test_mismatched_row_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_rows([([0, 1], [1.0])], n_cols=3)
+
+    def test_scipy_roundtrip(self, mat, dense):
+        sp = mat.to_scipy()
+        back = CSRMatrix.from_scipy(sp)
+        np.testing.assert_allclose(back.to_dense(), dense)
+
+
+class TestRowAccess:
+    def test_row_returns_indices_and_values(self, mat):
+        idx, val = mat.row(2)
+        np.testing.assert_array_equal(idx, [1, 3, 4])
+        np.testing.assert_allclose(val, [3.0, 4.0, 5.0])
+
+    def test_empty_row(self, mat):
+        idx, val = mat.row(1)
+        assert idx.size == 0 and val.size == 0
+
+    def test_row_dense(self, mat, dense):
+        np.testing.assert_allclose(mat.row_dense(3), dense[3])
+
+    def test_row_out_of_range(self, mat):
+        with pytest.raises(IndexError):
+            mat.row(4)
+        with pytest.raises(IndexError):
+            mat.row(-1)
+
+    def test_row_nnz(self, mat):
+        assert mat.row_nnz(0) == 2
+        np.testing.assert_array_equal(mat.row_nnz(), [2, 0, 3, 2])
+
+    def test_row_dot(self, mat, dense):
+        w = np.arange(5, dtype=float)
+        for i in range(4):
+            assert mat.row_dot(i, w) == pytest.approx(dense[i] @ w)
+
+    def test_iter_rows(self, mat):
+        rows = list(mat.iter_rows())
+        assert len(rows) == 4
+
+    def test_row_norms(self, mat, dense):
+        np.testing.assert_allclose(mat.row_norms(), np.linalg.norm(dense, axis=1))
+        np.testing.assert_allclose(
+            mat.row_norms(squared=True), np.linalg.norm(dense, axis=1) ** 2
+        )
+
+
+class TestMatVec:
+    def test_dot_matches_dense(self, mat, dense):
+        w = np.linspace(-1, 1, 5)
+        np.testing.assert_allclose(mat.dot(w), dense @ w)
+
+    def test_dot_wrong_shape(self, mat):
+        with pytest.raises(ValueError):
+            mat.dot(np.zeros(3))
+
+    def test_transpose_dot_matches_dense(self, mat, dense):
+        v = np.array([1.0, -2.0, 0.5, 3.0])
+        np.testing.assert_allclose(mat.transpose_dot(v), dense.T @ v)
+
+    def test_transpose_dot_wrong_shape(self, mat):
+        with pytest.raises(ValueError):
+            mat.transpose_dot(np.zeros(2))
+
+    def test_column_nnz(self, mat, dense):
+        np.testing.assert_array_equal(mat.column_nnz(), (dense != 0).sum(axis=0))
+
+    def test_dot_empty_matrix(self):
+        m = CSRMatrix.from_rows([([], [])], n_cols=3)
+        np.testing.assert_allclose(m.dot(np.ones(3)), [0.0])
+
+
+class TestRowSelection:
+    def test_take_rows_reorders(self, mat, dense):
+        sub = mat.take_rows([3, 0])
+        np.testing.assert_allclose(sub.to_dense(), dense[[3, 0]])
+
+    def test_take_rows_allows_repeats(self, mat, dense):
+        sub = mat.take_rows([2, 2])
+        np.testing.assert_allclose(sub.to_dense(), dense[[2, 2]])
+
+    def test_take_rows_out_of_range(self, mat):
+        with pytest.raises(ValueError):
+            mat.take_rows([0, 10])
+
+    def test_slice_rows(self, mat, dense):
+        sub = mat.slice_rows(1, 3)
+        np.testing.assert_allclose(sub.to_dense(), dense[1:3])
+
+    def test_slice_rows_invalid(self, mat):
+        with pytest.raises(IndexError):
+            mat.slice_rows(3, 1)
+
+    def test_getitem_int(self, mat):
+        idx, val = mat[0]
+        np.testing.assert_array_equal(idx, [0, 2])
+
+    def test_getitem_slice(self, mat, dense):
+        np.testing.assert_allclose(mat[1:4].to_dense(), dense[1:4])
+
+    def test_getitem_array(self, mat, dense):
+        np.testing.assert_allclose(mat[np.array([0, 2])].to_dense(), dense[[0, 2]])
+
+    def test_equality(self, mat, dense):
+        assert mat == CSRMatrix.from_dense(dense)
+        assert mat != CSRMatrix.from_dense(dense * 2)
+
+
+class TestVstack:
+    def test_vstack_two_blocks(self, mat, dense):
+        stacked = vstack([mat, mat])
+        np.testing.assert_allclose(stacked.to_dense(), np.vstack([dense, dense]))
+
+    def test_vstack_requires_matching_columns(self, mat):
+        other = CSRMatrix.from_dense(np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            vstack([mat, other])
+
+    def test_vstack_empty_list(self):
+        with pytest.raises(ValueError):
+            vstack([])

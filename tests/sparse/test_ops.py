@@ -1,0 +1,112 @@
+"""Tests for repro.sparse.ops."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.ops import (
+    dense_update_flops,
+    densify,
+    scatter_add,
+    sparse_add,
+    sparse_dot,
+    sparse_norm_sq,
+    sparse_scale,
+    sparse_squared_norms,
+    sparse_update_flops,
+    sparsify,
+)
+
+
+class TestSparseDot:
+    def test_matches_dense(self):
+        w = np.arange(6, dtype=float)
+        idx = np.array([1, 4])
+        val = np.array([2.0, -1.0])
+        assert sparse_dot(idx, val, w) == pytest.approx(2 * 1 - 4)
+
+    def test_empty(self):
+        assert sparse_dot(np.array([], dtype=np.int64), np.array([]), np.ones(3)) == 0.0
+
+
+class TestScatterAdd:
+    def test_basic(self):
+        w = np.zeros(5)
+        scatter_add(w, np.array([0, 3]), np.array([1.0, 2.0]), scale=2.0)
+        np.testing.assert_allclose(w, [2.0, 0, 0, 4.0, 0])
+
+    def test_duplicate_indices_accumulate(self):
+        w = np.zeros(3)
+        scatter_add(w, np.array([1, 1]), np.array([1.0, 1.0]))
+        assert w[1] == pytest.approx(2.0)
+
+    def test_empty_noop(self):
+        w = np.ones(3)
+        scatter_add(w, np.array([], dtype=np.int64), np.array([]))
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_returns_same_array(self):
+        w = np.zeros(2)
+        assert scatter_add(w, np.array([0]), np.array([1.0])) is w
+
+
+class TestNormsAndScale:
+    def test_sparse_scale(self):
+        np.testing.assert_allclose(sparse_scale(np.array([1.0, 2.0]), 3.0), [3.0, 6.0])
+
+    def test_norm_sq(self):
+        assert sparse_norm_sq(np.array([3.0, 4.0])) == pytest.approx(25.0)
+        assert sparse_norm_sq(np.array([])) == 0.0
+
+    def test_squared_norms_per_row(self):
+        data = np.array([1.0, 2.0, 3.0])
+        indptr = np.array([0, 2, 2, 3])
+        np.testing.assert_allclose(sparse_squared_norms(data, indptr), [5.0, 0.0, 9.0])
+
+    def test_squared_norms_empty(self):
+        np.testing.assert_allclose(
+            sparse_squared_norms(np.array([]), np.array([0, 0, 0])), [0.0, 0.0]
+        )
+
+
+class TestSparseAdd:
+    def test_disjoint_supports(self):
+        idx, val = sparse_add(np.array([0]), np.array([1.0]), np.array([2]), np.array([3.0]))
+        np.testing.assert_array_equal(idx, [0, 2])
+        np.testing.assert_allclose(val, [1.0, 3.0])
+
+    def test_overlapping_supports(self):
+        idx, val = sparse_add(
+            np.array([0, 2]), np.array([1.0, 1.0]), np.array([2, 3]), np.array([1.0, 1.0]), beta=2.0
+        )
+        np.testing.assert_array_equal(idx, [0, 2, 3])
+        np.testing.assert_allclose(val, [1.0, 3.0, 2.0])
+
+    def test_empty_operands(self):
+        idx, val = sparse_add(np.array([], dtype=np.int64), np.array([]), np.array([1]), np.array([2.0]), beta=0.5)
+        np.testing.assert_array_equal(idx, [1])
+        np.testing.assert_allclose(val, [1.0])
+        idx, val = sparse_add(np.array([1]), np.array([2.0]), np.array([], dtype=np.int64), np.array([]))
+        np.testing.assert_array_equal(idx, [1])
+
+
+class TestDensifySparsify:
+    def test_roundtrip(self):
+        vec = np.array([0.0, 2.0, 0.0, -1.0])
+        idx, val = sparsify(vec)
+        np.testing.assert_allclose(densify(idx, val, 4), vec)
+
+    def test_densify_duplicates(self):
+        out = densify(np.array([1, 1]), np.array([1.0, 2.0]), 3)
+        assert out[1] == pytest.approx(3.0)
+
+
+class TestFlopCounts:
+    def test_sparse_flops_scale_with_nnz(self):
+        assert sparse_update_flops(10) == 30
+
+    def test_dense_flops_scale_with_dim(self):
+        assert dense_update_flops(100) == 300
+
+    def test_dense_much_larger_for_sparse_data(self):
+        # The Figure-1 argument: dense update cost dwarfs the sparse one.
+        assert dense_update_flops(1_000_000) / sparse_update_flops(10) > 1e4

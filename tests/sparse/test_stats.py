@@ -1,0 +1,89 @@
+"""Tests for repro.sparse.stats (Table 1 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.stats import (
+    describe_dataset,
+    gradient_sparsity,
+    normalized_rho,
+    psi,
+    rho,
+)
+
+
+class TestGradientSparsity:
+    def test_matches_density(self):
+        X = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        assert gradient_sparsity(X) == pytest.approx(0.25)
+
+    def test_empty_matrix(self):
+        X = CSRMatrix.from_rows([], n_cols=5)
+        assert gradient_sparsity(X) == 0.0
+
+
+class TestPsi:
+    def test_uniform_constants_give_one(self):
+        assert psi(np.full(10, 3.0)) == pytest.approx(1.0)
+
+    def test_heavy_tail_below_one(self):
+        L = np.array([1.0, 1.0, 1.0, 100.0])
+        assert psi(L) < 0.5
+
+    def test_bounded_by_one(self, heavy_tail_lipschitz):
+        assert 0.0 < psi(heavy_tail_lipschitz) <= 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            psi(np.array([-1.0, 2.0]))
+
+    def test_hand_computed_value(self):
+        L = np.array([1.0, 3.0])
+        expected = (4.0**2) / (2 * (1 + 9))
+        assert psi(L) == pytest.approx(expected)
+
+
+class TestRho:
+    def test_zero_for_constant(self):
+        assert rho(np.full(5, 2.0)) == 0.0
+
+    def test_is_population_variance(self):
+        L = np.array([1.0, 2.0, 3.0, 4.0])
+        assert rho(L) == pytest.approx(np.var(L))
+
+    def test_normalized_rho_scale_invariant(self):
+        L = np.array([1.0, 2.0, 3.0])
+        assert normalized_rho(L) == pytest.approx(normalized_rho(10.0 * L))
+
+    def test_normalized_rho_zero_mean(self):
+        assert normalized_rho(np.zeros(3)) == 0.0
+
+    def test_rho_not_scale_invariant(self):
+        L = np.array([1.0, 2.0, 3.0])
+        assert rho(10 * L) == pytest.approx(100 * rho(L))
+
+
+class TestDescribeDataset:
+    def test_full_record(self):
+        X = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        L = np.array([1.0, 2.0])
+        stats = describe_dataset("toy", X, L, source="unit")
+        assert stats.name == "toy"
+        assert stats.n_features == 2
+        assert stats.n_samples == 2
+        assert stats.psi == pytest.approx(psi(L))
+        assert stats.rho == pytest.approx(rho(L))
+        row = stats.as_row()
+        assert row["Source"] == "unit"
+        assert row["Dimension"] == 2
+
+    def test_length_mismatch_rejected(self):
+        X = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError):
+            describe_dataset("bad", X, np.ones(2))
+
+    def test_extra_fields_propagated(self):
+        X = CSRMatrix.from_dense(np.eye(2))
+        stats = describe_dataset("toy", X, np.ones(2), extra={"custom": 1.0})
+        assert stats.as_row()["custom"] == 1.0

@@ -1,0 +1,113 @@
+"""Tests for the convergence bounds of Sections 2-3."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.stats import psi
+from repro.theory.bounds import (
+    bound_improvement_ratio,
+    compare_bounds,
+    is_asgd_iteration_bound,
+    is_sgd_convergence_bound,
+    is_sgd_iteration_bound,
+    sgd_convergence_bound,
+    sgd_iteration_bound,
+    tau_bound,
+)
+
+
+class TestConvergenceBounds:
+    def test_is_bound_never_worse_than_uniform(self, heavy_tail_lipschitz):
+        """Cauchy-Schwarz: the Eq.13 bound is <= the Eq.14 bound."""
+        uni = sgd_convergence_bound(heavy_tail_lipschitz, 1.0, 1.0, 100)
+        isb = is_sgd_convergence_bound(heavy_tail_lipschitz, 1.0, 1.0, 100)
+        assert isb <= uni + 1e-12
+
+    def test_equal_for_constant_lipschitz(self):
+        L = np.full(50, 2.0)
+        uni = sgd_convergence_bound(L, 1.0, 1.0, 10)
+        isb = is_sgd_convergence_bound(L, 1.0, 1.0, 10)
+        assert isb == pytest.approx(uni)
+
+    def test_bound_ratio_is_sqrt_psi(self, heavy_tail_lipschitz):
+        ratio = bound_improvement_ratio(heavy_tail_lipschitz)
+        assert ratio == pytest.approx(np.sqrt(psi(heavy_tail_lipschitz)))
+
+    def test_bounds_decay_with_iterations(self, heavy_tail_lipschitz):
+        b10 = is_sgd_convergence_bound(heavy_tail_lipschitz, 1.0, 1.0, 10)
+        b100 = is_sgd_convergence_bound(heavy_tail_lipschitz, 1.0, 1.0, 100)
+        assert b100 == pytest.approx(b10 / 10)
+
+    def test_invalid_arguments(self, heavy_tail_lipschitz):
+        with pytest.raises(ValueError):
+            sgd_convergence_bound(heavy_tail_lipschitz, 1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            is_sgd_convergence_bound(heavy_tail_lipschitz, 1.0, 1.0, 0)
+
+
+class TestIterationBounds:
+    def test_is_iterations_fewer_in_interpolation_regime(self, heavy_tail_lipschitz):
+        """With zero residual (sigma^2 -> 0) Eq. 29 keeps only the Lipschitz
+        term, where IS replaces sup L by the mean — strictly fewer iterations."""
+        uni = sgd_iteration_bound(heavy_tail_lipschitz, mu=0.1, sigma_sq=1e-12,
+                                  epsilon=1e-2, epsilon0=1.0)
+        isb = is_sgd_iteration_bound(heavy_tail_lipschitz, mu=0.1, sigma_sq=1e-12,
+                                     epsilon=1e-2, epsilon0=1.0)
+        assert isb < uni
+
+    def test_iteration_bound_formulas_match_eq28_eq29(self, heavy_tail_lipschitz):
+        L = heavy_tail_lipschitz
+        mu, sigma_sq, eps, eps0 = 0.1, 1.0, 1e-2, 1.0
+        log_term = 2.0 * np.log(eps0 / eps)
+        expected_uni = log_term * (L.max() / mu + sigma_sq / (mu**2 * eps))
+        expected_is = log_term * (
+            L.mean() / mu + (L.mean() / max(L.min(), 1e-12)) * sigma_sq / (mu**2 * eps)
+        )
+        assert sgd_iteration_bound(L, mu, sigma_sq, eps, eps0) == pytest.approx(expected_uni)
+        assert is_sgd_iteration_bound(L, mu, sigma_sq, eps, eps0) == pytest.approx(expected_is)
+
+    def test_smaller_epsilon_needs_more_iterations(self, heavy_tail_lipschitz):
+        loose = is_sgd_iteration_bound(heavy_tail_lipschitz, 0.1, 1.0, 1e-1, 1.0)
+        tight = is_sgd_iteration_bound(heavy_tail_lipschitz, 0.1, 1.0, 1e-3, 1.0)
+        assert tight > loose
+
+    def test_is_asgd_bound_is_constant_times_is_sgd(self, heavy_tail_lipschitz):
+        base = is_sgd_iteration_bound(heavy_tail_lipschitz, 0.1, 1.0, 1e-2, 1.0)
+        asgd = is_asgd_iteration_bound(heavy_tail_lipschitz, 0.1, 1.0, 1e-2, 1.0,
+                                       order_constant=2.0)
+        assert asgd == pytest.approx(2.0 * base)
+
+
+class TestTauBound:
+    def test_sparser_data_allows_larger_tau(self, heavy_tail_lipschitz):
+        dense = tau_bound(heavy_tail_lipschitz, 0.1, 1.0, 1e-2, average_conflict_degree=50.0)
+        sparse = tau_bound(heavy_tail_lipschitz, 0.1, 1.0, 1e-2, average_conflict_degree=0.5)
+        assert sparse >= dense
+
+    def test_structural_term_inf_for_zero_degree(self, heavy_tail_lipschitz):
+        # With no conflicts the structural bound disappears and only the
+        # analytic term remains (finite).
+        val = tau_bound(heavy_tail_lipschitz, 0.1, 1.0, 1e-2, average_conflict_degree=0.0)
+        assert np.isfinite(val)
+
+    def test_monotone_in_n(self):
+        L = np.ones(10)
+        small = tau_bound(L, 0.1, 1.0, 1e-2, n=10, average_conflict_degree=1.0)
+        large = tau_bound(L, 0.1, 1.0, 1e-2, n=1000, average_conflict_degree=1.0)
+        assert large >= small
+
+
+class TestCompareBounds:
+    def test_full_comparison_structure(self, heavy_tail_lipschitz):
+        cmp = compare_bounds(heavy_tail_lipschitz, average_conflict_degree=2.0)
+        assert 0.0 < cmp.psi <= 1.0
+        assert cmp.is_bound <= cmp.uniform_bound + 1e-12
+        assert cmp.bound_ratio <= 1.0 + 1e-12
+        assert cmp.tau_limit > 0.0
+
+    def test_low_psi_gives_bigger_improvement(self):
+        narrow = np.full(100, 1.0)
+        wide = np.concatenate([np.full(95, 0.1), np.full(5, 10.0)])
+        cmp_narrow = compare_bounds(narrow)
+        cmp_wide = compare_bounds(wide)
+        assert cmp_wide.bound_ratio < cmp_narrow.bound_ratio

@@ -1,0 +1,51 @@
+"""Tests for Lipschitz-constant utilities."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.logistic import LogisticObjective
+from repro.theory.lipschitz import (
+    average_lipschitz,
+    inf_lipschitz,
+    lipschitz_constants,
+    lipschitz_summary,
+    sup_lipschitz,
+)
+
+
+class TestBasicStatistics:
+    def test_average(self):
+        assert average_lipschitz(np.array([1.0, 3.0])) == pytest.approx(2.0)
+
+    def test_sup_and_inf(self):
+        L = np.array([0.5, 2.0, 7.0])
+        assert sup_lipschitz(L) == 7.0
+        assert inf_lipschitz(L) == 0.5
+
+    def test_inf_floored(self):
+        assert inf_lipschitz(np.array([0.0, 1.0])) == pytest.approx(1e-12)
+
+
+class TestLipschitzConstantsWrapper:
+    def test_matches_objective_method(self, small_dataset):
+        X, y, _ = small_dataset
+        obj = LogisticObjective()
+        np.testing.assert_allclose(lipschitz_constants(obj, X, y), obj.lipschitz_constants(X, y))
+
+
+class TestSummary:
+    def test_fields_consistent(self, heavy_tail_lipschitz):
+        summary = lipschitz_summary(heavy_tail_lipschitz)
+        assert summary.n == heavy_tail_lipschitz.size
+        assert summary.sup >= summary.mean >= summary.inf
+        assert 0.0 < summary.psi <= 1.0
+        assert summary.sup_over_mean >= 1.0
+
+    def test_sup_over_mean_for_uniform(self):
+        summary = lipschitz_summary(np.full(10, 2.0))
+        assert summary.sup_over_mean == pytest.approx(1.0)
+        assert summary.psi == pytest.approx(1.0)
+
+    def test_heavy_tail_has_large_sup_over_mean(self, heavy_tail_lipschitz):
+        summary = lipschitz_summary(heavy_tail_lipschitz)
+        assert summary.sup_over_mean > 3.0

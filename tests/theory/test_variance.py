@@ -1,0 +1,76 @@
+"""Tests for gradient-variance estimators (the VR mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import lipschitz_probabilities, uniform_probabilities
+from repro.objectives.logistic import LogisticObjective
+from repro.theory.variance import (
+    gradient_variance,
+    importance_sampling_variance,
+    optimal_variance,
+    variance_reduction_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(small_dataset):
+    X, y, _ = small_dataset
+    obj = LogisticObjective()
+    rng = np.random.default_rng(1)
+    w = 0.1 * rng.normal(size=X.n_cols)
+    return obj, w, X, y
+
+
+class TestGradientVariance:
+    def test_non_negative(self, setup):
+        obj, w, X, y = setup
+        assert gradient_variance(obj, w, X, y) >= 0.0
+
+    def test_uniform_probabilities_recover_plain_variance(self, setup):
+        obj, w, X, y = setup
+        plain = gradient_variance(obj, w, X, y)
+        uniform = importance_sampling_variance(obj, w, X, y, uniform_probabilities(X.n_rows))
+        assert uniform == pytest.approx(plain, rel=1e-9)
+
+
+class TestImportanceSamplingVariance:
+    def test_optimal_distribution_minimises_variance(self, setup):
+        obj, w, X, y = setup
+        opt = optimal_variance(obj, w, X, y)
+        uni = gradient_variance(obj, w, X, y)
+        lip = importance_sampling_variance(
+            obj, w, X, y, lipschitz_probabilities(obj.lipschitz_constants(X, y))
+        )
+        assert opt <= uni + 1e-9
+        assert opt <= lip + 1e-9
+
+    def test_variance_reduction_ratio_matches_components(self, setup):
+        obj, w, X, y = setup
+        p = lipschitz_probabilities(obj.lipschitz_constants(X, y))
+        ratio = variance_reduction_ratio(obj, w, X, y, p)
+        expected = importance_sampling_variance(obj, w, X, y, p) / gradient_variance(obj, w, X, y)
+        assert ratio == pytest.approx(expected)
+
+    def test_mismatched_probability_length(self, setup):
+        obj, w, X, y = setup
+        with pytest.raises(ValueError):
+            importance_sampling_variance(obj, w, X, y, uniform_probabilities(3))
+
+    def test_monte_carlo_agreement(self, setup):
+        """The closed-form IS variance must match a direct Monte-Carlo estimate."""
+        obj, w, X, y = setup
+        p = lipschitz_probabilities(obj.lipschitz_constants(X, y))
+        closed_form = importance_sampling_variance(obj, w, X, y, p)
+
+        rng = np.random.default_rng(0)
+        full_grad = obj.full_gradient(w, X, y)
+        n = X.n_rows
+        draws = rng.choice(n, size=4000, p=p)
+        sq_norms = []
+        for i in draws:
+            g = obj.sample_grad_dense(w, *X.row(int(i)), float(y[int(i)]))
+            scaled = g / (n * p[int(i)])
+            sq_norms.append(float(np.sum((scaled - full_grad) ** 2)))
+        mc = float(np.mean(sq_norms))
+        assert mc == pytest.approx(closed_form, rel=0.15)

@@ -1,0 +1,40 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import disable_console_logging, enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_root_logger_name(self):
+        assert get_logger().name == "repro"
+
+    def test_suffix_is_namespaced(self):
+        assert get_logger("solvers").name == "repro.solvers"
+
+    def test_already_namespaced_not_doubled(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+
+class TestConsoleLogging:
+    def test_enable_is_idempotent(self):
+        h1 = enable_console_logging(logging.DEBUG)
+        h2 = enable_console_logging(logging.INFO)
+        try:
+            assert h1 is h2
+            handlers = [
+                h for h in logging.getLogger("repro").handlers
+                if getattr(h, "_repro_console", False)
+            ]
+            assert len(handlers) == 1
+        finally:
+            disable_console_logging()
+
+    def test_disable_removes_handler(self):
+        enable_console_logging()
+        disable_console_logging()
+        handlers = [
+            h for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_console", False)
+        ]
+        assert handlers == []

@@ -1,0 +1,90 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_rng,
+    derive_seed,
+    permutation,
+    sample_without_replacement,
+    spawn_rngs,
+)
+
+
+class TestAsRng:
+    def test_int_seed_is_reproducible(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).random(5)
+        b = as_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        a = as_rng(ss)
+        assert isinstance(a, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        rngs = spawn_rngs(0, 5)
+        assert len(rngs) == 5
+
+    def test_children_are_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.random(4) for r in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_reproducible_from_same_seed(self):
+        a = [r.random() for r in spawn_rngs(9, 4)]
+        b = [r.random() for r in spawn_rngs(9, 4)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        rngs = spawn_rngs(gen, 2)
+        assert len(rngs) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(10, 1, 2) == derive_seed(10, 1, 2)
+
+    def test_tags_change_result(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)
+
+    def test_returns_int(self):
+        assert isinstance(derive_seed(0, 7), int)
+
+
+class TestSamplingHelpers:
+    def test_permutation_is_permutation(self):
+        p = permutation(0, 10)
+        assert sorted(p.tolist()) == list(range(10))
+
+    def test_sample_without_replacement_unique(self):
+        s = sample_without_replacement(0, 20, 10)
+        assert len(set(s.tolist())) == 10
+
+    def test_sample_without_replacement_too_many(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(0, 3, 5)
