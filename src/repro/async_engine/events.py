@@ -61,6 +61,32 @@ class EpochEvent:
         if delay > self.max_observed_delay:
             self.max_observed_delay = int(delay)
 
+    def merge_bulk(
+        self,
+        *,
+        iterations: int,
+        grad_nnz: int,
+        dense_coords: int = 0,
+        conflicts: int = 0,
+        sample_draws: int = 0,
+        stale_reads: int = 0,
+        max_delay: int = 0,
+    ) -> None:
+        """Fold a whole batch of iterations' counters in at once.
+
+        Equivalent to ``iterations`` calls of :meth:`merge_iteration` with
+        the given totals; the serial solvers use this so the Python-level
+        per-iteration bookkeeping disappears from their hot loops.
+        """
+        self.iterations += int(iterations)
+        self.sparse_coordinate_updates += int(grad_nnz)
+        self.dense_coordinate_updates += int(dense_coords)
+        self.conflicts += int(conflicts)
+        self.sample_draws += int(sample_draws)
+        self.stale_reads += int(stale_reads)
+        if max_delay > self.max_observed_delay:
+            self.max_observed_delay = int(max_delay)
+
     @property
     def conflict_rate(self) -> float:
         """Conflicts per iteration within the epoch."""

@@ -63,6 +63,7 @@ class ISASGDSolver(BaseSolver):
         cost_model=None,
         staleness: Optional[StalenessModel] = None,
         backend: str = "simulated",
+        kernel=None,
         **config_overrides,
     ) -> None:
         if config is None:
@@ -75,6 +76,7 @@ class ISASGDSolver(BaseSolver):
             seed=config.seed,
             cost_model=cost_model,
             record_every=config.record_every,
+            kernel=kernel,
         )
         if backend not in {"simulated", "threads"}:
             raise ValueError("backend must be 'simulated' or 'threads'")

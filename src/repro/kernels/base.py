@@ -1,0 +1,178 @@
+"""Abstract compute-kernel backend.
+
+A :class:`KernelBackend` bundles every numeric primitive the solvers,
+objectives and metrics need into one swappable object:
+
+* CSR linear algebra — full and subset matrix-vector products
+  (:meth:`matvec`, :meth:`rmatvec`, :meth:`margins`) and the scatter-add of
+  scaled sparse rows (:meth:`accumulate_rows`);
+* the per-sample hot path — :meth:`row_margin`, :meth:`sample_grad`,
+  :meth:`row_update` and the fused :meth:`sample_update` that one SGD-style
+  iteration consists of;
+* batched objective math — per-sample losses and loss derivatives
+  (:meth:`losses`, :meth:`grad_coeffs`) built on the
+  :class:`~repro.objectives.base.Objective` batch API;
+* full-dataset quantities — :meth:`full_loss`, :meth:`full_gradient` and
+  the one-pass metrics evaluation :meth:`evaluate`.
+
+Two implementations ship with the library: the ``reference`` backend keeps
+the original per-sample Python-loop semantics as ground truth, and the
+``vectorized`` backend (the default) replaces every batched quantity with
+NumPy segment operations over the raw CSR arrays.  The parity suite in
+``tests/kernels/test_parity.py`` pins the two to each other.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.objectives.base import Objective
+
+
+@dataclass
+class MetricsEval:
+    """Result of one full-dataset metrics evaluation."""
+
+    rmse: float
+    error_rate: float
+
+
+class KernelBackend(ABC):
+    """Pluggable numeric core shared by solvers, objectives and metrics."""
+
+    #: Registry name of the backend.
+    name: str = "base"
+
+    # ------------------------------------------------------------------ #
+    # CSR linear algebra
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def matvec(self, X: CSRMatrix, w: np.ndarray) -> np.ndarray:
+        """All-rows margins ``X @ w`` as a dense length-``n`` vector."""
+
+    @abstractmethod
+    def rmatvec(self, X: CSRMatrix, v: np.ndarray) -> np.ndarray:
+        """Transpose product ``X.T @ v`` as a dense length-``d`` vector."""
+
+    @abstractmethod
+    def margins(
+        self, X: CSRMatrix, w: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Margins ``<x_i, w>`` for ``rows`` (all rows when ``None``)."""
+
+    @abstractmethod
+    def accumulate_rows(
+        self, X: CSRMatrix, rows: np.ndarray, coeffs: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Scatter-add of scaled sparse rows: ``out += Σ_t coeffs[t] * x_{rows[t]}``.
+
+        ``rows`` may repeat; ``out`` is modified in place and returned.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Per-sample hot path
+    # ------------------------------------------------------------------ #
+    def row(self, X: CSRMatrix, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indices, values)`` views of row ``i``."""
+        return X.row(i)
+
+    @abstractmethod
+    def row_margin(self, X: CSRMatrix, i: int, w: np.ndarray) -> float:
+        """Margin ``<x_i, w>`` of one row."""
+
+    @abstractmethod
+    def row_update(
+        self, w: np.ndarray, X: CSRMatrix, i: int, values: np.ndarray, scale: float = 1.0
+    ) -> None:
+        """In-place ``w[support(x_i)] += scale * values`` (values aligned with the support)."""
+
+    @abstractmethod
+    def sample_grad(
+        self, obj: "Objective", X: CSRMatrix, i: int, w: np.ndarray, y_i: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Index-compressed ``∇f_i(w)`` (loss + regulariser on the support) as ``(indices, values)``."""
+
+    @abstractmethod
+    def sample_update(
+        self, w: np.ndarray, obj: "Objective", X: CSRMatrix, i: int, y_i: float, scale: float
+    ) -> int:
+        """One fused SGD-style step ``w += scale * ∇f_i(w)``; returns ``nnz(x_i)``."""
+
+    @abstractmethod
+    def batch_grad(
+        self,
+        obj: "Objective",
+        X: CSRMatrix,
+        rows: np.ndarray,
+        w: np.ndarray,
+        y: np.ndarray,
+        scales: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Index-compressed sum of re-weighted sample gradients.
+
+        Returns ``Σ_t scales[t] * ∇f_{rows[t]}(w)`` as a ``(columns,
+        values)`` pair whose support is the union of the rows' supports —
+        the mini-batch update primitive.  Per-sample gradients are
+        index-compressed (loss + regulariser on the support) and evaluated
+        at the common iterate ``w``; the cost is O(batch nnz), never O(d).
+        """
+
+    # ------------------------------------------------------------------ #
+    # Batched objective math
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def losses(
+        self,
+        obj: "Objective",
+        X: CSRMatrix,
+        y: np.ndarray,
+        w: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Unregularised per-sample losses ``phi_i(w)`` for ``rows`` (all when ``None``)."""
+
+    @abstractmethod
+    def grad_coeffs(
+        self,
+        obj: "Objective",
+        X: CSRMatrix,
+        y: np.ndarray,
+        w: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-sample loss derivatives w.r.t. the margin for ``rows`` (all when ``None``)."""
+
+    # ------------------------------------------------------------------ #
+    # Full-dataset quantities
+    # ------------------------------------------------------------------ #
+    def full_loss(self, obj: "Objective", X: CSRMatrix, y: np.ndarray, w: np.ndarray) -> float:
+        """Full objective ``F(w) = (1/n) Σ phi_i(w) + r(w)``."""
+        if X.n_rows == 0:
+            return obj.regularizer.value(w)
+        losses = self.losses(obj, X, y, w)
+        return float(losses.mean()) + obj.regularizer.value(w)
+
+    @abstractmethod
+    def full_gradient(
+        self, obj: "Objective", X: CSRMatrix, y: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        """Dense full gradient ``∇F(w)`` including the regulariser."""
+
+    @abstractmethod
+    def evaluate(
+        self, obj: "Objective", X: CSRMatrix, y: np.ndarray, w: np.ndarray
+    ) -> MetricsEval:
+        """RMSE and error rate of ``w`` on ``(X, y)`` in one pass."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["KernelBackend", "MetricsEval"]

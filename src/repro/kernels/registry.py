@@ -1,0 +1,110 @@
+"""Name-based kernel-backend registry (mirrors ``solvers/registry.py``).
+
+The active backend is resolved in priority order:
+
+1. an explicit :class:`~repro.kernels.base.KernelBackend` instance or name
+   passed to the caller (solver constructors, ``MetricsRecorder``,
+   ``Objective.batch_margins`` all accept a ``kernel`` argument);
+2. the process-wide default set via :func:`set_default_backend`;
+3. the ``REPRO_KERNEL_BACKEND`` environment variable;
+4. the built-in default, ``"vectorized"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.kernels.base import KernelBackend
+from repro.kernels.reference import ReferenceKernel
+from repro.kernels.vectorized import VectorizedKernel
+
+#: Environment variable consulted when no explicit backend is configured.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The built-in default backend name.
+DEFAULT_BACKEND = "vectorized"
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "reference": ReferenceKernel,
+    "vectorized": VectorizedKernel,
+}
+
+# One shared instance per name — backends are stateless, so construction
+# once per process is enough.
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+_default_override: Optional[str] = None
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`make_backend`, sorted alphabetically."""
+    return sorted(_FACTORIES)
+
+
+def make_backend(name: str) -> KernelBackend:
+    """Return the (shared) backend instance registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = factory()
+    return _INSTANCES[name]
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a custom backend factory (overwrites an existing name)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def default_backend_name() -> str:
+    """The name the process currently resolves ``kernel=None`` to."""
+    if _default_override is not None:
+        return _default_override
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    return env if env else DEFAULT_BACKEND
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or clear, with ``None``) the process-wide default backend."""
+    global _default_override
+    if name is not None and name not in _FACTORIES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    _default_override = name
+
+
+def get_default_backend() -> KernelBackend:
+    """The backend instance used when no explicit ``kernel`` is given."""
+    return make_backend(default_backend_name())
+
+
+def resolve_backend(kernel: Union[KernelBackend, str, None]) -> KernelBackend:
+    """Normalise a ``kernel`` argument (instance, name or None) to a backend."""
+    if kernel is None:
+        return get_default_backend()
+    if isinstance(kernel, KernelBackend):
+        return kernel
+    if isinstance(kernel, str):
+        return make_backend(kernel)
+    raise TypeError(
+        f"kernel must be a KernelBackend, a backend name or None, got {type(kernel).__name__}"
+    )
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "default_backend_name",
+    "set_default_backend",
+    "get_default_backend",
+    "resolve_backend",
+]

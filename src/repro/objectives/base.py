@@ -129,6 +129,56 @@ class Objective(ABC):
         return grad
 
     # ------------------------------------------------------------------ #
+    # Batch API (the contract the kernel backends build on; implemented
+    # once here from the vectorised loss hooks, so every objective gets the
+    # batched paths for free — see the ``repro.kernels`` module docstring)
+    # ------------------------------------------------------------------ #
+    def batch_margins(
+        self,
+        w: np.ndarray,
+        X: CSRMatrix,
+        rows: Optional[np.ndarray] = None,
+        kernel=None,
+    ) -> np.ndarray:
+        """Margins ``<x_i, w>`` for ``rows`` (all rows when ``None``).
+
+        Dispatches through the selected kernel backend (``kernel`` may be a
+        backend instance, a registry name, or ``None`` for the default).
+        """
+        from repro.kernels.registry import resolve_backend
+
+        return resolve_backend(kernel).margins(X, w, rows)
+
+    def batch_loss(self, margins: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Elementwise unregularised losses from precomputed margins.
+
+        Must agree with the scalar :meth:`sample_loss` evaluated per row;
+        the parity suite enforces this for every registered objective.
+        """
+        return np.asarray(
+            self._vector_loss(
+                np.ascontiguousarray(margins, dtype=np.float64),
+                np.ascontiguousarray(y, dtype=np.float64),
+            ),
+            dtype=np.float64,
+        )
+
+    def batch_grad_coeffs(self, margins: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Elementwise loss derivatives w.r.t. the margin from precomputed margins.
+
+        Must agree with the scalar :meth:`_loss_derivative` per row, so the
+        per-sample gradient is always ``batch_grad_coeffs(m, y)[i] * x_i``
+        plus the regulariser restricted to the support.
+        """
+        return np.asarray(
+            self._vector_loss_derivative(
+                np.ascontiguousarray(margins, dtype=np.float64),
+                np.ascontiguousarray(y, dtype=np.float64),
+            ),
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------ #
     # Full-dataset quantities
     # ------------------------------------------------------------------ #
     def full_loss(self, w: np.ndarray, X: CSRMatrix, y: np.ndarray) -> float:
@@ -159,7 +209,11 @@ class Objective(ABC):
 
     def error_rate(self, w: np.ndarray, X: CSRMatrix, y: np.ndarray) -> float:
         """Misclassification rate (classification) or normalised MSE (regression)."""
-        preds = self.predict(w, X)
+        return self.error_rate_from_margins(X.dot(w), y)
+
+    def error_rate_from_margins(self, margins: np.ndarray, y: np.ndarray) -> float:
+        """:meth:`error_rate` from precomputed margins (one matvec shared with the loss)."""
+        preds = self.predict_from_margins(margins)
         if self.is_classification:
             return float(np.mean(preds != np.sign(y)))
         denom = float(np.mean(y**2)) or 1.0
@@ -167,12 +221,15 @@ class Objective(ABC):
 
     def predict(self, w: np.ndarray, X: CSRMatrix) -> np.ndarray:
         """Class predictions in {-1, +1} (classification) or raw scores (regression)."""
-        margins = X.dot(w)
+        return self.predict_from_margins(X.dot(w))
+
+    def predict_from_margins(self, margins: np.ndarray) -> np.ndarray:
+        """:meth:`predict` from precomputed margins."""
         if self.is_classification:
             preds = np.sign(margins)
             preds[preds == 0] = 1.0
             return preds
-        return margins
+        return np.asarray(margins, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     # Vectorised internals (subclasses implement the scalar math too so the

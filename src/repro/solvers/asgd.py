@@ -88,9 +88,10 @@ class ASGDSolver(BaseSolver):
         record_every: int = 1,
         staleness: Optional[StalenessModel] = None,
         backend: str = "simulated",
+        kernel=None,
     ) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
-                         cost_model=cost_model, record_every=record_every)
+                         cost_model=cost_model, record_every=record_every, kernel=kernel)
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if backend not in {"simulated", "threads"}:

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
 from repro.async_engine.cost_model import CostModel
 from repro.async_engine.events import EpochEvent, ExecutionTrace
+from repro.kernels.base import KernelBackend
+from repro.kernels.registry import resolve_backend
 from repro.metrics.convergence import MetricsRecorder
 from repro.objectives.base import Objective
 from repro.solvers.results import TrainResult
@@ -73,9 +75,43 @@ class Problem:
             self.lipschitz = self.objective.lipschitz_constants(self.X, self.y)
         return self.lipschitz
 
-    def recorder(self, label: str = "") -> MetricsRecorder:
+    def recorder(self, label: str = "", kernel=None) -> MetricsRecorder:
         """A metrics recorder evaluating on the full training set."""
-        return MetricsRecorder(self.objective, self.X, self.y, label=label)
+        return MetricsRecorder(self.objective, self.X, self.y, label=label, kernel=kernel)
+
+
+class EpochEngine:
+    """Shared serial epoch-loop state: weights, trace and per-epoch snapshots.
+
+    Every serial solver runs the same outer loop — initialise the weight
+    vector, execute one epoch body, aggregate the epoch's operation counters
+    into an :class:`EpochEvent` and snapshot the weights.  The engine owns
+    that machinery; the solver supplies only the epoch body, which performs
+    its arithmetic through the solver's kernel backend.
+    """
+
+    def __init__(self, problem: Problem, initial_weights: Optional[np.ndarray] = None) -> None:
+        self.problem = problem
+        self.w = (
+            np.zeros(problem.n_features)
+            if initial_weights is None
+            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
+        )
+        self.trace = ExecutionTrace()
+        self.weights_by_epoch: list[np.ndarray] = []
+
+    def run(self, epochs: int, body) -> None:
+        """Execute ``epochs`` iterations of ``body(epoch, event)``.
+
+        The body mutates ``self.w`` (in place or by rebinding ``engine.w``)
+        and folds its operation counts into ``event``; the engine appends
+        the event to the trace and snapshots the weights after each epoch.
+        """
+        for epoch in range(epochs):
+            event = EpochEvent(epoch=epoch)
+            body(epoch, event)
+            self.trace.add_epoch(event)
+            self.weights_by_epoch.append(self.w.copy())
 
 
 class BaseSolver(ABC):
@@ -93,6 +129,10 @@ class BaseSolver(ABC):
         The cost model translating operation counts into simulated seconds;
         a shared default instance is used when omitted so that all solvers
         in one experiment are priced identically.
+    kernel:
+        Compute-kernel backend (instance, registry name, or ``None`` for the
+        configured default — see :mod:`repro.kernels`).  All of the solver's
+        arithmetic dispatches through it.
     """
 
     #: Name used in curve labels, registries and reports.
@@ -106,6 +146,7 @@ class BaseSolver(ABC):
         seed: RandomState = 0,
         cost_model: Optional[CostModel] = None,
         record_every: int = 1,
+        kernel: Union[KernelBackend, str, None] = None,
     ) -> None:
         if step_size <= 0:
             raise ValueError("step_size must be positive")
@@ -118,6 +159,7 @@ class BaseSolver(ABC):
         self.seed = seed
         self.cost_model = cost_model or CostModel()
         self.record_every = int(record_every)
+        self.kernel = resolve_backend(kernel)
 
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -147,7 +189,9 @@ class BaseSolver(ABC):
         Evaluates the metrics for every recorded epoch and prices the trace
         with the cost model.
         """
-        recorder = problem.recorder(label=label or f"{self.name}[{problem.name}]")
+        recorder = problem.recorder(
+            label=label or f"{self.name}[{problem.name}]", kernel=self.kernel
+        )
         wall = self.cost_model.trace_wall_clock(
             trace, self.parallel_workers, include_sampling=include_sampling
         )
@@ -178,4 +222,4 @@ class BaseSolver(ABC):
         )
 
 
-__all__ = ["Problem", "BaseSolver"]
+__all__ = ["Problem", "BaseSolver", "EpochEngine"]

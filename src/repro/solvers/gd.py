@@ -12,8 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.events import EpochEvent, ExecutionTrace
-from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.base import BaseSolver, EpochEngine, Problem
 from repro.solvers.results import TrainResult
 
 
@@ -23,48 +22,44 @@ class GradientDescentSolver(BaseSolver):
     name = "gd"
 
     def __init__(self, *, step_size: float = 0.5, epochs: int = 50, seed=0,
-                 cost_model=None, record_every: int = 1, backtracking: bool = True) -> None:
+                 cost_model=None, record_every: int = 1, backtracking: bool = True,
+                 kernel=None) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
-                         cost_model=cost_model, record_every=record_every)
+                         cost_model=cost_model, record_every=record_every, kernel=kernel)
         self.backtracking = bool(backtracking)
 
     def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
         """Run ``epochs`` full-gradient steps."""
         X, y, obj = problem.X, problem.y, problem.objective
-        w = (
-            np.zeros(problem.n_features)
-            if initial_weights is None
-            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
-        )
-        trace = ExecutionTrace()
-        weights_by_epoch = []
-        step = self.step_size
-        prev_loss = obj.full_loss(w, X, y)
+        kernel = self.kernel
+        engine = EpochEngine(problem, initial_weights)
+        state = {"step": self.step_size, "prev_loss": kernel.full_loss(obj, X, y, engine.w)}
 
-        for epoch in range(self.epochs):
-            event = EpochEvent(epoch=epoch)
-            grad = obj.full_gradient(w, X, y)
+        def epoch_body(epoch: int, event) -> None:
+            w = engine.w
+            step = state["step"]
+            grad = kernel.full_gradient(obj, X, y, w)
             candidate = w - step * grad
-            loss = obj.full_loss(candidate, X, y)
+            loss = kernel.full_loss(obj, X, y, candidate)
             if self.backtracking:
                 # Halve the step until the objective stops increasing (at most a few times).
                 tries = 0
-                while loss > prev_loss and tries < 8:
+                while loss > state["prev_loss"] and tries < 8:
                     step *= 0.5
                     candidate = w - step * grad
-                    loss = obj.full_loss(candidate, X, y)
+                    loss = kernel.full_loss(obj, X, y, candidate)
                     tries += 1
-            w = candidate
-            prev_loss = loss
+            engine.w = candidate
+            state["step"] = step
+            state["prev_loss"] = loss
             # One full gradient touches every stored non-zero once plus a dense update.
             event.merge_iteration(
                 grad_nnz=X.nnz, dense_coords=X.n_cols, conflicts=0, delay=0, drew_sample=False
             )
-            trace.add_epoch(event)
-            weights_by_epoch.append(w.copy())
 
-        return self._finalize(problem, weights_by_epoch, trace, include_sampling=False,
-                              info={"final_step": step})
+        engine.run(self.epochs, epoch_body)
+        return self._finalize(problem, engine.weights_by_epoch, engine.trace,
+                              include_sampling=False, info={"final_step": state["step"]})
 
 
 __all__ = ["GradientDescentSolver"]

@@ -14,10 +14,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.events import EpochEvent, ExecutionTrace
 from repro.core.importance import lipschitz_probabilities, stepsize_reweighting
 from repro.core.sampler import SampleSequence
-from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.base import BaseSolver, EpochEngine, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import RandomState, as_rng
 
@@ -49,6 +48,7 @@ class ISSGDSolver(BaseSolver):
         record_every: int = 1,
         step_clip: float = 100.0,
         reshuffle_sequences: bool = True,
+        kernel=None,
     ) -> None:
         super().__init__(
             step_size=step_size,
@@ -56,6 +56,7 @@ class ISSGDSolver(BaseSolver):
             seed=seed,
             cost_model=cost_model,
             record_every=record_every,
+            kernel=kernel,
         )
         if step_clip <= 0:
             raise ValueError("step_clip must be positive")
@@ -67,11 +68,8 @@ class ISSGDSolver(BaseSolver):
         rng = as_rng(self.seed)
         X, y, obj = problem.X, problem.y, problem.objective
         n = problem.n_samples
-        w = (
-            np.zeros(problem.n_features)
-            if initial_weights is None
-            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
-        )
+        kernel = self.kernel
+        engine = EpochEngine(problem, initial_weights)
 
         # Algorithm 2, line 2: construct P from the Lipschitz constants.
         L = problem.lipschitz_constants()
@@ -79,39 +77,34 @@ class ISSGDSolver(BaseSolver):
         reweight = np.minimum(stepsize_reweighting(probs), self.step_clip)
 
         # Algorithm 2, line 3: pre-generate the sample sequence.
-        sequence = SampleSequence.generate(probs, n, seed=int(rng.integers(0, 2**31 - 1)))
-
-        trace = ExecutionTrace()
-        weights_by_epoch = []
+        state = {"sequence": SampleSequence.generate(probs, n, seed=int(rng.integers(0, 2**31 - 1)))}
         lam = self.step_size
 
-        for epoch in range(self.epochs):
-            event = EpochEvent(epoch=epoch)
+        def epoch_body(epoch: int, event) -> None:
             if epoch > 0:
                 if self.reshuffle_sequences:
-                    sequence = SampleSequence.generate(
+                    state["sequence"] = SampleSequence.generate(
                         probs, n, seed=int(rng.integers(0, 2**31 - 1))
                     )
                 else:
-                    sequence = sequence.reshuffled(seed=int(rng.integers(0, 2**31 - 1)))
-            for row in sequence.indices:
+                    state["sequence"] = state["sequence"].reshuffled(
+                        seed=int(rng.integers(0, 2**31 - 1))
+                    )
+            w = engine.w
+            total_nnz = 0
+            for row in state["sequence"].indices:
                 row = int(row)
-                x_idx, x_val = X.row(row)
-                grad = obj.sample_grad(w, x_idx, x_val, float(y[row]))
-                scale = -lam * reweight[row]
-                if grad.indices.size:
-                    np.add.at(w, grad.indices, scale * grad.values)
-                event.merge_iteration(
-                    grad_nnz=grad.nnz, dense_coords=0, conflicts=0, delay=0, drew_sample=True
+                total_nnz += kernel.sample_update(
+                    w, obj, X, row, float(y[row]), -lam * reweight[row]
                 )
-            trace.add_epoch(event)
-            weights_by_epoch.append(w.copy())
+            event.merge_bulk(iterations=n, grad_nnz=total_nnz, sample_draws=n)
 
+        engine.run(self.epochs, epoch_body)
         info = {
             "psi": float((L.sum() ** 2) / (L.size * float(np.dot(L, L)))) if L.size else 1.0,
             "step_clip": self.step_clip,
         }
-        return self._finalize(problem, weights_by_epoch, trace, info=info)
+        return self._finalize(problem, engine.weights_by_epoch, engine.trace, info=info)
 
 
 __all__ = ["ISSGDSolver"]

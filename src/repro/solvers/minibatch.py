@@ -25,10 +25,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.events import EpochEvent, ExecutionTrace
 from repro.core.importance import lipschitz_probabilities, stepsize_reweighting
 from repro.core.sampler import AliasSampler
-from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.base import BaseSolver, EpochEngine, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import RandomState, as_rng
 
@@ -60,9 +59,10 @@ class MiniBatchSGDSolver(BaseSolver):
         seed: RandomState = 0,
         cost_model=None,
         record_every: int = 1,
+        kernel=None,
     ) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
-                         cost_model=cost_model, record_every=record_every)
+                         cost_model=cost_model, record_every=record_every, kernel=kernel)
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if step_clip <= 0:
@@ -76,11 +76,8 @@ class MiniBatchSGDSolver(BaseSolver):
         rng = as_rng(self.seed)
         X, y, obj = problem.X, problem.y, problem.objective
         n = problem.n_samples
-        w = (
-            np.zeros(problem.n_features)
-            if initial_weights is None
-            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
-        )
+        kernel = self.kernel
+        engine = EpochEngine(problem, initial_weights)
 
         if self.importance_sampling:
             L = problem.lipschitz_constants()
@@ -93,39 +90,34 @@ class MiniBatchSGDSolver(BaseSolver):
 
         batches_per_epoch = max(1, n // self.batch_size)
         lam = self.step_size
-        trace = ExecutionTrace()
-        weights_by_epoch = []
+        row_nnz = np.diff(X.indptr)
 
-        for epoch in range(self.epochs):
-            event = EpochEvent(epoch=epoch)
+        def epoch_body(epoch: int, event) -> None:
+            w = engine.w
+            total_nnz = 0
             for _ in range(batches_per_epoch):
                 batch = sampler.sample(self.batch_size, rng=rng)
-                batch_nnz = 0
-                # Accumulate the averaged, re-weighted batch gradient sparsely.
-                accum: dict[int, float] = {}
-                for row in batch:
-                    row = int(row)
-                    x_idx, x_val = X.row(row)
-                    grad = obj.sample_grad(w, x_idx, x_val, float(y[row]))
-                    scale = reweight[row] / self.batch_size
-                    batch_nnz += grad.nnz
-                    for col, val in zip(grad.indices, grad.values):
-                        accum[int(col)] = accum.get(int(col), 0.0) + scale * float(val)
-                if accum:
-                    cols = np.fromiter(accum.keys(), dtype=np.int64, count=len(accum))
-                    vals = np.fromiter(accum.values(), dtype=np.float64, count=len(accum))
-                    np.add.at(w, cols, -lam * vals)
-                event.merge_iteration(
-                    grad_nnz=batch_nnz, dense_coords=0, conflicts=0, delay=0, drew_sample=True
+                # The averaged, re-weighted batch gradient in one batched
+                # kernel call (gather → margins → coeffs → compress), applied
+                # index-compressed: only the batch support is touched.
+                cols, vals = kernel.batch_grad(
+                    obj, X, batch, w, y, reweight[batch] / self.batch_size
                 )
-            trace.add_epoch(event)
-            weights_by_epoch.append(w.copy())
+                if cols.size:
+                    w[cols] -= lam * vals
+                total_nnz += int(row_nnz[batch].sum())
+            event.merge_bulk(
+                iterations=batches_per_epoch,
+                grad_nnz=total_nnz,
+                sample_draws=batches_per_epoch,
+            )
 
+        engine.run(self.epochs, epoch_body)
         info = {
             "batch_size": self.batch_size,
             "importance_sampling": self.importance_sampling,
         }
-        return self._finalize(problem, weights_by_epoch, trace,
+        return self._finalize(problem, engine.weights_by_epoch, engine.trace,
                               include_sampling=self.importance_sampling, info=info)
 
 

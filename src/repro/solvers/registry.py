@@ -91,7 +91,9 @@ def make_solver(name: str, **kwargs: Any) -> BaseSolver:
 
     Keyword arguments are forwarded to the solver constructor; serial
     solvers silently ignore ``num_workers`` so experiment configurations can
-    pass a uniform parameter set to every algorithm in a comparison.
+    pass a uniform parameter set to every algorithm in a comparison.  Every
+    solver accepts ``kernel`` (a compute-backend instance or registry name,
+    see :mod:`repro.kernels`) to select how its arithmetic is executed.
     """
     try:
         factory = _FACTORIES[name]

@@ -18,8 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.events import EpochEvent, ExecutionTrace
-from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.base import BaseSolver, EpochEngine, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import as_rng
 
@@ -34,67 +33,50 @@ class SAGASolver(BaseSolver):
         rng = as_rng(self.seed)
         X, y, obj = problem.X, problem.y, problem.objective
         n, d = problem.n_samples, problem.n_features
-        w = (
-            np.zeros(d)
-            if initial_weights is None
-            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
-        )
+        kernel = self.kernel
+        engine = EpochEngine(problem, initial_weights)
 
         # Stored loss-derivative coefficient per sample (gradient = coef * x_i
-        # + regulariser); initialised at the zero vector's coefficients.
-        coefs = np.zeros(n, dtype=np.float64)
-        avg_grad = np.zeros(d, dtype=np.float64)
-        for i in range(n):
-            x_idx, x_val = X.row(i)
-            margin = float(np.dot(x_val, w[x_idx])) if x_idx.size else 0.0
-            coefs[i] = obj._loss_derivative(margin, float(y[i]))
-            if x_idx.size:
-                np.add.at(avg_grad, x_idx, coefs[i] * x_val / n)
-
-        trace = ExecutionTrace()
-        weights_by_epoch = []
+        # + regulariser); initialised at the starting iterate's coefficients.
+        # Both the table and its running average are batched kernel calls.
+        coefs = kernel.grad_coeffs(obj, X, y, engine.w)
+        avg_grad = kernel.accumulate_rows(
+            X, np.arange(n), coefs / n, np.zeros(d, dtype=np.float64)
+        )
         lam = self.step_size
 
-        init_event = EpochEvent(epoch=-1)
-        init_event.merge_iteration(grad_nnz=X.nnz, dense_coords=d, conflicts=0, delay=0,
-                                   drew_sample=False)
-
-        for epoch in range(self.epochs):
-            event = EpochEvent(epoch=epoch)
+        def epoch_body(epoch: int, event) -> None:
+            w = engine.w
             if epoch == 0:
                 # Fold the table-initialisation cost into the first epoch.
                 event.merge_iteration(grad_nnz=X.nnz, dense_coords=d, conflicts=0, delay=0,
                                       drew_sample=False)
             order = rng.permutation(n)
+            total_nnz = 0
             for row in order:
                 row = int(row)
-                x_idx, x_val = X.row(row)
-                margin = float(np.dot(x_val, w[x_idx])) if x_idx.size else 0.0
+                x_idx, x_val = kernel.row(X, row)
+                margin = kernel.row_margin(X, row, w)
                 new_coef = obj._loss_derivative(margin, float(y[row]))
                 old_coef = coefs[row]
 
                 # Dense part: the running average gradient (plus regulariser).
-                step_dense = avg_grad.copy()
                 reg_grad = obj.regularizer.grad_dense(w)
-                w -= lam * (step_dense + reg_grad)
+                w -= lam * (avg_grad + reg_grad)
                 # Sparse part: (new - old) * x_i on the support.
                 if x_idx.size:
-                    np.add.at(w, x_idx, -lam * (new_coef - old_coef) * x_val)
+                    delta = (new_coef - old_coef) * x_val
+                    kernel.row_update(w, X, row, delta, -lam)
                     # Maintain the running average and the table.
-                    np.add.at(avg_grad, x_idx, (new_coef - old_coef) * x_val / n)
+                    kernel.row_update(avg_grad, X, row, delta / n, 1.0)
                 coefs[row] = new_coef
+                total_nnz += 2 * int(x_idx.size)
+            event.merge_bulk(iterations=n, grad_nnz=total_nnz, dense_coords=2 * d * n)
 
-                event.merge_iteration(
-                    grad_nnz=2 * int(x_idx.size),
-                    dense_coords=2 * d,
-                    conflicts=0,
-                    delay=0,
-                    drew_sample=False,
-                )
-            trace.add_epoch(event)
-            weights_by_epoch.append(w.copy())
-
-        return self._finalize(problem, weights_by_epoch, trace, include_sampling=False)
+        engine.run(self.epochs, epoch_body)
+        return self._finalize(
+            problem, engine.weights_by_epoch, engine.trace, include_sampling=False
+        )
 
 
 __all__ = ["SAGASolver"]

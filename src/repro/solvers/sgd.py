@@ -5,7 +5,9 @@ Plain SGD with uniform sampling, Eq. 3:
     w_{t+1} = w_t - λ ∇f_{i_t}(w_t),      i_t ~ Uniform{1..n}.
 
 Sampling is without replacement within each epoch (a fresh random
-permutation per epoch), the standard practical variant.
+permutation per epoch), the standard practical variant.  Each step runs
+through the solver's kernel backend (:mod:`repro.kernels`); the epoch loop
+itself is the shared :class:`~repro.solvers.base.EpochEngine`.
 """
 
 from __future__ import annotations
@@ -14,8 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.events import EpochEvent, ExecutionTrace
-from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.base import BaseSolver, EpochEngine, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import as_rng
 
@@ -30,31 +31,22 @@ class SGDSolver(BaseSolver):
         rng = as_rng(self.seed)
         X, y, obj = problem.X, problem.y, problem.objective
         n = problem.n_samples
-        w = (
-            np.zeros(problem.n_features)
-            if initial_weights is None
-            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
-        )
-
-        trace = ExecutionTrace()
-        weights_by_epoch = []
+        kernel = self.kernel
+        engine = EpochEngine(problem, initial_weights)
         lam = self.step_size
 
-        for epoch in range(self.epochs):
-            event = EpochEvent(epoch=epoch)
+        def epoch_body(epoch: int, event) -> None:
+            w = engine.w
             order = rng.permutation(n)
+            total_nnz = 0
             for row in order:
-                x_idx, x_val = X.row(int(row))
-                grad = obj.sample_grad(w, x_idx, x_val, float(y[row]))
-                if grad.indices.size:
-                    np.add.at(w, grad.indices, -lam * grad.values)
-                event.merge_iteration(
-                    grad_nnz=grad.nnz, dense_coords=0, conflicts=0, delay=0, drew_sample=False
-                )
-            trace.add_epoch(event)
-            weights_by_epoch.append(w.copy())
+                total_nnz += kernel.sample_update(w, obj, X, int(row), float(y[row]), -lam)
+            event.merge_bulk(iterations=n, grad_nnz=total_nnz)
 
-        return self._finalize(problem, weights_by_epoch, trace, include_sampling=False)
+        engine.run(self.epochs, epoch_body)
+        return self._finalize(
+            problem, engine.weights_by_epoch, engine.trace, include_sampling=False
+        )
 
 
 __all__ = ["SGDSolver"]

@@ -17,8 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.events import EpochEvent, ExecutionTrace
-from repro.solvers.base import BaseSolver, Problem
+from repro.solvers.base import BaseSolver, EpochEngine, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import as_rng
 
@@ -39,9 +38,10 @@ class SVRGSolver(BaseSolver):
     name = "svrg"
 
     def __init__(self, *, step_size: float = 0.1, epochs: int = 10, seed=0,
-                 cost_model=None, record_every: int = 1, skip_dense_term: bool = False) -> None:
+                 cost_model=None, record_every: int = 1, skip_dense_term: bool = False,
+                 kernel=None) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
-                         cost_model=cost_model, record_every=record_every)
+                         cost_model=cost_model, record_every=record_every, kernel=kernel)
         self.skip_dense_term = bool(skip_dense_term)
 
     def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
@@ -50,52 +50,40 @@ class SVRGSolver(BaseSolver):
         X, y, obj = problem.X, problem.y, problem.objective
         n = problem.n_samples
         d = problem.n_features
-        w = (
-            np.zeros(d)
-            if initial_weights is None
-            else np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
-        )
-
-        trace = ExecutionTrace()
-        weights_by_epoch = []
+        kernel = self.kernel
+        engine = EpochEngine(problem, initial_weights)
         lam = self.step_size
 
-        for epoch in range(self.epochs):
-            event = EpochEvent(epoch=epoch)
+        def epoch_body(epoch: int, event) -> None:
+            w = engine.w
             # Snapshot and full gradient: one pass over all non-zeros plus a
             # dense reduction — accounted as one "iteration" with the full
             # nnz/dense cost so the cost model prices the epoch correctly.
             snapshot = w.copy()
-            mu = obj.full_gradient(snapshot, X, y)
+            mu = kernel.full_gradient(obj, X, y, snapshot)
             event.merge_iteration(
                 grad_nnz=X.nnz, dense_coords=d, conflicts=0, delay=0, drew_sample=False
             )
 
             order = rng.permutation(n)
+            total_nnz = 0
             for row in order:
                 row = int(row)
-                x_idx, x_val = X.row(row)
-                grad_w = obj.sample_grad(w, x_idx, x_val, float(y[row]))
-                grad_s = obj.sample_grad(snapshot, x_idx, x_val, float(y[row]))
-                sparse_part = grad_w.values - grad_s.values
-                if self.skip_dense_term:
-                    # Approximation: only the sparse difference is applied per step.
-                    if x_idx.size:
-                        np.add.at(w, x_idx, -lam * sparse_part)
-                    dense_coords = 0
-                else:
+                y_i = float(y[row])
+                x_idx, values_w = kernel.sample_grad(obj, X, row, w, y_i)
+                _, values_s = kernel.sample_grad(obj, X, row, snapshot, y_i)
+                sparse_part = values_w - values_s
+                if not self.skip_dense_term:
                     # Faithful SVRG: the dense µ is added at every iteration.
                     w -= lam * mu
-                    if x_idx.size:
-                        np.add.at(w, x_idx, -lam * sparse_part)
-                    dense_coords = d
-                event.merge_iteration(
-                    grad_nnz=2 * int(x_idx.size),
-                    dense_coords=dense_coords,
-                    conflicts=0,
-                    delay=0,
-                    drew_sample=False,
-                )
+                if x_idx.size:
+                    kernel.row_update(w, X, row, sparse_part, -lam)
+                total_nnz += 2 * int(x_idx.size)
+            event.merge_bulk(
+                iterations=n,
+                grad_nnz=total_nnz,
+                dense_coords=0 if self.skip_dense_term else n * d,
+            )
             if self.skip_dense_term:
                 # Apply the accumulated dense correction once per epoch.
                 w -= lam * n * mu
@@ -103,13 +91,11 @@ class SVRGSolver(BaseSolver):
                     grad_nnz=0, dense_coords=d, conflicts=0, delay=0, drew_sample=False
                 )
 
-            trace.add_epoch(event)
-            weights_by_epoch.append(w.copy())
-
+        engine.run(self.epochs, epoch_body)
         return self._finalize(
             problem,
-            weights_by_epoch,
-            trace,
+            engine.weights_by_epoch,
+            engine.trace,
             include_sampling=False,
             info={"skip_dense_term": self.skip_dense_term},
         )

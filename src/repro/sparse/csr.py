@@ -63,6 +63,21 @@ class CSRMatrix:
             raise ValueError("n_cols must be non-negative")
         if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= self.n_cols):
             raise ValueError("column indices out of bounds")
+        # Canonical layout: column indices strictly increasing within each
+        # row (sorted, duplicate-free).  The vectorized kernel backend's
+        # fancy-index writes rely on row supports being duplicate-free, so
+        # this is validated here rather than assumed.
+        if self.indices.size > 1:
+            non_increasing = np.diff(self.indices) <= 0
+            row_boundary = np.zeros(self.indices.size - 1, dtype=bool)
+            starts = self.indptr[1:-1]
+            starts = starts[(starts > 0) & (starts < self.indices.size)]
+            row_boundary[starts - 1] = True
+            if np.any(non_increasing & ~row_boundary):
+                raise ValueError(
+                    "column indices must be strictly increasing within each row "
+                    "(canonical CSR); sort and merge duplicates first"
+                )
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -174,6 +189,33 @@ class CSRMatrix:
         np.add.at(out, self.indices, self.data * v[row_of_entry])
         return out
 
+    def gather_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated ``(indices, values, lengths)`` of the selected rows.
+
+        ``rows`` may repeat and is visited in order; the returned ``lengths``
+        vector gives each selected row's nnz so callers can segment the flat
+        arrays (``np.repeat`` / ``np.add.reduceat`` style).  This is the
+        gather primitive behind the vectorized kernel backend's batched
+        margins and scatter-adds.
+        """
+        rows = check_index_array(np.asarray(rows, dtype=np.int64), "rows", upper=self.n_rows)
+        starts = self.indptr[rows]
+        lengths = self.indptr[rows + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.float64),
+                lengths,
+            )
+        offsets = np.cumsum(lengths) - lengths
+        pos = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, lengths)
+            + np.repeat(starts, lengths)
+        )
+        return self.indices[pos], self.data[pos], lengths
+
     def column_nnz(self) -> np.ndarray:
         """Number of rows touching each column (feature occurrence counts)."""
         counts = np.zeros(self.n_cols, dtype=np.int64)
@@ -242,8 +284,14 @@ class CSRMatrix:
 
     @classmethod
     def from_scipy(cls, mat) -> "CSRMatrix":
-        """Convert a ``scipy.sparse`` matrix (any format) to :class:`CSRMatrix`."""
-        csr = mat.tocsr()
+        """Convert a ``scipy.sparse`` matrix (any format) to :class:`CSRMatrix`.
+
+        The input is canonicalised first (duplicates summed, indices sorted)
+        so the resulting layout satisfies this class's row invariants.
+        """
+        csr = mat.tocsr().copy()
+        csr.sum_duplicates()
+        csr.sort_indices()
         return cls(
             data=np.asarray(csr.data, dtype=np.float64),
             indices=np.asarray(csr.indices, dtype=np.int64),

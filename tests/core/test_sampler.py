@@ -49,6 +49,36 @@ class TestAliasSampler:
         with pytest.raises(ValueError):
             AliasSampler(skewed_probs).sample(-1)
 
+    @pytest.mark.parametrize("n", [1, 2, 7, 64, 501, 5000])
+    def test_alias_table_reconstructs_distribution_exactly(self, n):
+        """The defining alias invariant: per-column mass equals ``n * p``."""
+        rng = np.random.default_rng(n)
+        p = rng.random(n) + 1e-3
+        p = p / p.sum()
+        s = AliasSampler(p, seed=0)
+        recon = s._prob_table.copy()
+        np.add.at(recon, s._alias_table, 1.0 - s._prob_table)
+        np.testing.assert_allclose(recon / n, p, atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            # Sizes above VECTORIZED_BUILD_MIN_N exercise the round-based build.
+            [1000.0] + [1e-4] * 5000,  # one dominant item absorbing everything
+            [1e-4] * 5000 + [1000.0, 900.0],  # dominant tail
+            list(np.exp(np.random.default_rng(7).normal(0.0, 1.5, size=6000))),
+        ],
+        ids=["head_dominant", "tail_dominant", "heavy_tail"],
+    )
+    def test_alias_table_exact_for_extreme_spectra(self, raw):
+        p = np.asarray(raw, dtype=np.float64)
+        p = p / p.sum()
+        s = AliasSampler(p, seed=0)
+        recon = s._prob_table.copy()
+        np.add.at(recon, s._alias_table, 1.0 - s._prob_table)
+        np.testing.assert_allclose(recon / p.size, p, atol=1e-12)
+        assert np.all(s._prob_table >= 0.0) and np.all(s._prob_table <= 1.0 + 1e-12)
+
 
 class TestInverseCDFSampler:
     def test_empirical_distribution_converges(self, skewed_probs):

@@ -1,0 +1,97 @@
+"""Tests for kernel-backend selection and registration."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    KernelBackend,
+    ReferenceKernel,
+    VectorizedKernel,
+    available_backends,
+    default_backend_name,
+    get_default_backend,
+    make_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default():
+    yield
+    set_default_backend(None)
+
+
+class TestRegistry:
+    def test_builtin_backends_available(self):
+        assert available_backends() == ["reference", "vectorized"]
+
+    def test_make_backend_returns_shared_instances(self):
+        assert make_backend("reference") is make_backend("reference")
+        assert isinstance(make_backend("reference"), ReferenceKernel)
+        assert isinstance(make_backend("vectorized"), VectorizedKernel)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            make_backend("bogus")
+
+    def test_register_custom_backend(self):
+        class Custom(VectorizedKernel):
+            name = "custom"
+
+        register_backend("custom", Custom)
+        try:
+            assert "custom" in available_backends()
+            assert isinstance(make_backend("custom"), Custom)
+        finally:
+            from repro.kernels import registry
+
+            registry._FACTORIES.pop("custom", None)
+            registry._INSTANCES.pop("custom", None)
+
+
+class TestDefaultResolution:
+    def test_builtin_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert default_backend_name() == "vectorized"
+        assert isinstance(get_default_backend(), VectorizedKernel)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert default_backend_name() == "reference"
+        assert isinstance(get_default_backend(), ReferenceKernel)
+
+    def test_set_default_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        set_default_backend("vectorized")
+        assert default_backend_name() == "vectorized"
+
+    def test_set_default_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_default_backend("bogus")
+
+    def test_resolve_accepts_instance_name_and_none(self):
+        inst = ReferenceKernel()
+        assert resolve_backend(inst) is inst
+        assert isinstance(resolve_backend("reference"), ReferenceKernel)
+        assert isinstance(resolve_backend(None), KernelBackend)
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+
+class TestSolverIntegration:
+    def test_solver_accepts_backend_name(self, small_problem):
+        from repro.solvers.registry import make_solver
+
+        solver = make_solver("sgd", step_size=0.3, epochs=2, seed=0, kernel="reference")
+        assert isinstance(solver.kernel, ReferenceKernel)
+        result = solver.fit(small_problem)
+        assert np.isfinite(result.curve.rmse).all()
+
+    def test_recorder_uses_kernel(self, small_problem):
+        ref = small_problem.recorder(kernel="reference")
+        vec = small_problem.recorder(kernel="vectorized")
+        w = np.zeros(small_problem.n_features)
+        assert ref.evaluate(w).rmse == pytest.approx(vec.evaluate(w).rmse, abs=1e-12)

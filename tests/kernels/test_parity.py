@@ -1,0 +1,98 @@
+"""Parity gate: ``reference`` and ``vectorized`` backends must agree.
+
+For every registered serial solver × registered objective combination the
+two backends are run with identical seeds on a fixed smoke problem and the
+resulting :class:`TrainResult` convergence curves are compared.  The serial
+per-sample primitives perform identical floating-point operations, so the
+tolerances below are at machine-epsilon scale — any real semantic drift
+between the backends fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, make_sparse_classification
+from repro.objectives.registry import available_objectives, make_objective
+from repro.solvers.base import Problem
+from repro.solvers.registry import make_solver
+from repro.sparse.csr import CSRMatrix
+
+#: The serial solvers the kernel layer accelerates (async solvers share the
+#: same per-sample primitives through the simulator's update rule).
+SERIAL_SOLVERS = ["sgd", "is_sgd", "gd", "svrg", "saga", "minibatch_sgd"]
+
+ATOL = 1e-10
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    spec = SyntheticSpec(
+        n_samples=60,
+        n_features=40,
+        nnz_per_sample=6.0,
+        feature_skew=1.0,
+        norm_spread=0.5,
+        label_noise=0.02,
+        name="parity",
+    )
+    X, y, _ = make_sparse_classification(spec, seed=7)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(11)
+    dense = rng.normal(size=(60, 40)) * (rng.random((60, 40)) < 0.15)
+    w_true = rng.normal(size=40)
+    y = dense @ w_true + 0.01 * rng.normal(size=60)
+    return CSRMatrix.from_dense(dense), y
+
+
+def _problem(objective_name, classification_data, regression_data) -> Problem:
+    objective = make_objective(objective_name, eta=1e-3)
+    X, y = classification_data if objective.is_classification else regression_data
+    return Problem(X=X, y=y, objective=objective, name=f"parity[{objective_name}]")
+
+
+def _fit(solver_name, problem, backend):
+    kwargs = {"step_size": 0.1, "epochs": 3, "seed": 0, "kernel": backend}
+    if solver_name == "minibatch_sgd":
+        kwargs["batch_size"] = 8
+    return make_solver(solver_name, **kwargs).fit(problem)
+
+
+@pytest.mark.parametrize("objective_name", available_objectives())
+@pytest.mark.parametrize("solver_name", SERIAL_SOLVERS)
+def test_backends_produce_identical_curves(
+    solver_name, objective_name, classification_data, regression_data
+):
+    problem = _problem(objective_name, classification_data, regression_data)
+    ref = _fit(solver_name, problem, "reference")
+    vec = _fit(solver_name, problem, "vectorized")
+
+    np.testing.assert_allclose(vec.weights, ref.weights, rtol=RTOL, atol=ATOL)
+    assert vec.curve.epochs == ref.curve.epochs
+    assert vec.curve.iterations == ref.curve.iterations
+    np.testing.assert_allclose(vec.curve.rmse, ref.curve.rmse, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(
+        vec.curve.error_rate, ref.curve.error_rate, rtol=RTOL, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        vec.curve.wall_clock, ref.curve.wall_clock, rtol=RTOL, atol=ATOL
+    )
+    # The operation counters feeding the cost model must agree exactly.
+    assert vec.trace.total_iterations == ref.trace.total_iterations
+    assert vec.trace.total_sparse_coordinate_updates == ref.trace.total_sparse_coordinate_updates
+    assert vec.trace.total_dense_coordinate_updates == ref.trace.total_dense_coordinate_updates
+
+
+@pytest.mark.parametrize("solver_name", ["sgd", "is_sgd"])
+def test_sgd_trajectories_bitwise_identical(
+    solver_name, classification_data, regression_data
+):
+    """The per-sample hot path performs identical fp ops — weights match bitwise."""
+    problem = _problem("logistic_l2", classification_data, regression_data)
+    ref = _fit(solver_name, problem, "reference")
+    vec = _fit(solver_name, problem, "vectorized")
+    np.testing.assert_array_equal(vec.weights, ref.weights)

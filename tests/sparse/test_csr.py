@@ -178,3 +178,41 @@ class TestVstack:
     def test_vstack_empty_list(self):
         with pytest.raises(ValueError):
             vstack([])
+
+
+class TestCanonicalLayout:
+    def test_duplicate_columns_within_row_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CSRMatrix(
+                data=np.array([1.0, 2.0, 1.0]),
+                indices=np.array([0, 0, 1]),
+                indptr=np.array([0, 3]),
+                n_cols=2,
+            )
+
+    def test_unsorted_columns_within_row_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CSRMatrix(
+                data=np.array([1.0, 2.0]),
+                indices=np.array([3, 1]),
+                indptr=np.array([0, 2]),
+                n_cols=4,
+            )
+
+    def test_decreasing_indices_across_row_boundary_allowed(self):
+        mat = CSRMatrix(
+            data=np.array([1.0, 2.0]),
+            indices=np.array([3, 0]),
+            indptr=np.array([0, 1, 2]),
+            n_cols=4,
+        )
+        assert mat.n_rows == 2
+
+    def test_from_scipy_canonicalises_duplicates(self):
+        sp = pytest.importorskip("scipy.sparse")
+        raw = sp.csr_matrix(
+            (np.array([1.0, 2.0, 1.0]), np.array([0, 0, 1]), np.array([0, 3])),
+            shape=(1, 2),
+        )
+        mat = CSRMatrix.from_scipy(raw)
+        np.testing.assert_allclose(mat.to_dense(), [[3.0, 1.0]])
