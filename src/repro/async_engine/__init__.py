@@ -8,6 +8,12 @@ library reproduces asynchrony at two levels:
   up to ``τ`` updates (exactly the model the paper's Section 3 analysis
   uses), and per-coordinate conflicts are accounted explicitly.  All the
   figures are produced on this engine.
+* :mod:`repro.async_engine.batched` — the macro-step fast path: the same
+  randomised schedule executed in blocks through the kernel backend's batch
+  primitives, with the per-sample conflict/staleness accounting replayed
+  exactly.  Selected per solver (``async_mode="batched"``) or process-wide
+  via ``REPRO_ASYNC_MODE`` (see :mod:`repro.async_engine.modes`); the
+  per-sample simulator remains the ground truth it is pinned against.
 * :mod:`repro.async_engine.threads` — a real ``threading``-based Hogwild
   backend over a shared NumPy buffer, used to validate that the algorithms
   are genuinely lock-free-safe (it produces correct models, just without
@@ -30,10 +36,27 @@ from repro.async_engine.staleness import (
 from repro.async_engine.worker import SimulatedWorker
 from repro.async_engine.events import EpochEvent, IterationEvent
 from repro.async_engine.simulator import AsyncSimulator, SimulationResult
+from repro.async_engine.batched import BatchedSimulator, BatchedUpdateRule
+from repro.async_engine.modes import (
+    ASYNC_MODE_ENV_VAR,
+    DEFAULT_ASYNC_MODE,
+    available_async_modes,
+    default_async_mode,
+    resolve_async_mode,
+    set_default_async_mode,
+)
 from repro.async_engine.threads import HogwildThreadPool, run_hogwild_threads
 from repro.async_engine.cost_model import CostModel, CostParameters
 
 __all__ = [
+    "BatchedSimulator",
+    "BatchedUpdateRule",
+    "ASYNC_MODE_ENV_VAR",
+    "DEFAULT_ASYNC_MODE",
+    "available_async_modes",
+    "default_async_mode",
+    "resolve_async_mode",
+    "set_default_async_mode",
     "SharedModel",
     "UpdateRecord",
     "StalenessModel",

@@ -1,0 +1,611 @@
+"""Batched macro-step execution engine for the asynchronous simulator.
+
+:class:`~repro.async_engine.simulator.AsyncSimulator` reproduces asynchrony
+one Python-level iteration at a time — worker bookkeeping, a staleness draw,
+a stale read reconstructed record-by-record, a scalar update.  That is the
+semantics the paper's Section 3 analysis wants, but it makes reproducing the
+*speedup* figures the slowest path in the repository.
+
+:class:`BatchedSimulator` is the fast path.  It executes the same randomised
+schedule in **macro-steps** of ``batch_size`` consecutive iterations:
+
+1. every worker contributes its scheduled samples for the block in one
+   vectorized slice (:meth:`SimulatedWorker.next_samples`);
+2. the touched rows are gathered once (:meth:`CSRMatrix.gather_rows`) and
+   all block margins are computed at the block-start iterate through the
+   kernel backend (:meth:`KernelBackend.segment_margins` →
+   :meth:`Objective.batch_grad_coeffs` inside the update rule);
+3. the per-entry update deltas of the whole block are folded into the model
+   with one scatter-add (:meth:`KernelBackend.scatter_add` — a
+   bincount-style accumulation in the vectorized backend);
+4. the per-iteration staleness/conflict accounting of the per-sample engine
+   is **replayed exactly**: the same delay sequence is drawn (array draws
+   consume the ``Generator`` stream identically to scalar draws), and each
+   iteration's conflicts are recomputed against the same bounded update
+   history the per-sample :class:`SharedModel` would have walked.
+
+Semantics vs the per-sample engine
+----------------------------------
+The *trace* (iterations, sparse/dense coordinate counts, conflicts, stale
+reads, delays) is bit-identical to the per-sample simulator for the built-in
+staleness models, because the schedule, the delay draws and the conflict
+window arithmetic are replayed exactly.  The *iterates* are not bitwise
+equal: inside one macro-step every read observes the block-start model
+rather than the partially-updated one, i.e. batching injects an additional
+staleness of up to ``batch_size - 1`` updates.  That is the same
+perturbed-iterate approximation the paper's analysis already allows — with
+the default ``batch_size = num_workers * (max_delay + 1)`` the extra lag
+stays on the scale of the modelled delay ``τ`` — so batched runs remain
+*statistically* faithful: the parity suite in
+``tests/async_engine/test_batched.py`` pins traces exactly and final
+iterates within tolerance for all three async solvers.
+
+One caveat is inherent to batching: a worker does not see its own writes
+within a macro-step (per-sample workers always do).  Choose ``batch_size``
+accordingly when the step size is aggressive; the per-sample engine remains
+the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Tuple, Union
+
+import numpy as np
+
+from repro.async_engine.events import EpochEvent, ExecutionTrace, IterationEvent
+from repro.async_engine.simulator import SimulationResult
+from repro.async_engine.staleness import StalenessModel, UniformDelay
+from repro.async_engine.worker import SimulatedWorker
+from repro.kernels.base import KernelBackend
+from repro.kernels.registry import resolve_backend
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import RandomState, as_rng
+
+#: Upper bound on the per-sample history replayed for stale reads; must
+#: match ``AsyncSimulator``'s ``SharedModel(history=min(..., 4096))``.
+_HISTORY_CAP = 4096
+
+
+class BatchedUpdateRule(Protocol):
+    """Computes a whole macro-step of update deltas from gathered rows.
+
+    A batched rule is the macro-step counterpart of
+    :class:`~repro.async_engine.simulator.UpdateRule`: instead of one
+    index-compressed delta per call it returns the per-entry weights for a
+    whole gathered block, to be scatter-added in one kernel call.
+    """
+
+    #: How many update records the per-sample engine writes per iteration
+    #: (1 for SGD-style rules, 2 for SVRG's dense-µ + sparse pair); drives
+    #: the window arithmetic of the conflict replay.
+    records_per_iteration: int
+
+    #: Trace ``grad_nnz`` per iteration as a multiple of ``nnz(x_i)``
+    #: (1 for SGD-style rules, 2 for SVRG's two margin evaluations).
+    grad_nnz_multiplier: int
+
+    #: The dense delta the rule applies once per iteration (SVRG's ``-λµ``),
+    #: or ``None`` for purely sparse rules.
+    dense_delta: Optional[np.ndarray]
+
+    def block_entry_weights(
+        self,
+        *,
+        w: np.ndarray,
+        rows: np.ndarray,
+        y: np.ndarray,
+        margins: np.ndarray,
+        step_weights: np.ndarray,
+        idx: np.ndarray,
+        val: np.ndarray,
+        lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Per-entry additive deltas aligned with the gathered ``(idx, val)``.
+
+        ``margins`` are the block-start margins of ``rows``; the returned
+        array has one weight per gathered entry (already scaled by the step
+        size and importance re-weighting) and is scatter-added into the
+        model by the simulator.
+        """
+        ...
+
+
+def _segment_bool_any(mask: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment ``any`` over a flat boolean entry array."""
+    if mask.size == 0:
+        return np.zeros(lengths.size, dtype=bool)
+    starts = np.cumsum(lengths) - lengths
+    padded = np.concatenate([mask.astype(np.int64), [0]])
+    sums = np.add.reduceat(padded, starts)
+    return (lengths > 0) & (sums > 0)
+
+
+@dataclass
+class _RecordLog:
+    """Rolling tail of the per-sample engine's update-record stream.
+
+    Only the metadata needed to replay conflict accounting is kept — the
+    writer, the record kind (dense/sparse), for sparse records the row whose
+    support was written, and for dense records a reference into the
+    simulator's table of dense-support masks (so a stale read is tested
+    against the support the record *actually* wrote, exactly like
+    ``UpdateRecord.indices``).  ``total`` counts every record ever written
+    (the per-sample model's ``version``); the arrays hold the most recent
+    ``keep`` of them.
+    """
+
+    keep: int
+    total: int = 0
+    kind: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int8))
+    worker: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    row: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    dense_ref: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def append(
+        self, kind: np.ndarray, worker: np.ndarray, row: np.ndarray, dense_ref: np.ndarray
+    ) -> None:
+        self.total += kind.size
+        self.kind = np.concatenate([self.kind, kind])[-self.keep :]
+        self.worker = np.concatenate([self.worker, worker])[-self.keep :]
+        self.row = np.concatenate([self.row, row])[-self.keep :]
+        self.dense_ref = np.concatenate([self.dense_ref, dense_ref])[-self.keep :]
+
+
+@dataclass
+class BatchedSimulator:
+    """Macro-step execution of asynchronous SGD-style solvers.
+
+    Drop-in counterpart of :class:`~repro.async_engine.simulator.AsyncSimulator`
+    (same constructor surface plus ``batch_size`` / ``kernel``), selected per
+    solver via ``async_mode="batched"`` or globally via the
+    ``REPRO_ASYNC_MODE`` environment variable (see
+    :mod:`repro.async_engine.modes`).
+
+    Parameters
+    ----------
+    X, y:
+        Full design matrix and labels.
+    workers:
+        The simulated workers, one per thread.
+    update_rule:
+        A :class:`BatchedUpdateRule` (macro-step update computation).
+    staleness:
+        Delay model; defaults to ``UniformDelay(num_workers - 1)``.
+    seed:
+        Seed (or shared ``Generator``) for the scheduler interleaving and
+        delay draws; passing the same seed as an ``AsyncSimulator`` yields
+        the identical schedule and delay sequence.
+    batch_size:
+        Iterations per macro-step, or ``"auto"`` for
+        ``num_workers * (max_delay + 1)`` — an extra lag on the scale of the
+        modelled delay.  Larger blocks are faster but staler.
+    kernel:
+        Kernel backend (instance, registry name or ``None`` for the
+        configured default) used for the batched margins and scatter-adds.
+    record_iterations:
+        Materialise per-iteration events (tests only).
+    epoch_begin / epoch_end:
+        Optional hooks ``(simulator, epoch, event)`` invoked around every
+        epoch — SVRG-style solvers compute snapshots/full gradients and fold
+        their sync costs into the epoch event here.
+    epoch_callback:
+        Optional ``(epoch_index, model_snapshot)`` callable, as on
+        :class:`AsyncSimulator`.
+    count_sample_draws:
+        Whether each iteration counts as one weighted sample draw in the
+        trace (True for ASGD-style solvers, False for SVRG's inner loop).
+    """
+
+    X: CSRMatrix
+    y: np.ndarray
+    workers: List[SimulatedWorker]
+    update_rule: BatchedUpdateRule
+    staleness: Optional[StalenessModel] = None
+    seed: RandomState = 0
+    batch_size: Union[int, str] = "auto"
+    kernel: Union[KernelBackend, str, None] = None
+    record_iterations: bool = False
+    epoch_begin: Optional[Callable[["BatchedSimulator", int, EpochEvent], None]] = None
+    epoch_end: Optional[Callable[["BatchedSimulator", int, EpochEvent], None]] = None
+    epoch_callback: Optional[Callable[[int, np.ndarray], None]] = None
+    count_sample_draws: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ValueError("at least one worker is required")
+        if self.y.shape[0] != self.X.n_rows:
+            raise ValueError("X and y row counts differ")
+        self._rng = as_rng(self.seed)
+        if self.staleness is None:
+            self.staleness = UniformDelay(max(len(self.workers) - 1, 0))
+        if isinstance(self.batch_size, str):
+            if self.batch_size != "auto":
+                raise ValueError("batch_size must be a positive int or 'auto'")
+        elif int(self.batch_size) < 1:
+            raise ValueError("batch_size must be a positive int or 'auto'")
+        self.kernel = resolve_backend(self.kernel)
+        self._w: Optional[np.ndarray] = None
+        self._log: Optional[_RecordLog] = None
+        self._maxlen = 0
+        self._dense_masks: dict[int, np.ndarray] = {}
+        self._dense_ref_counter = 0
+        self._last_dense_obj: Optional[np.ndarray] = None
+        self._last_dense_ref = -1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        """Number of simulated workers."""
+        return len(self.workers)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The live weight buffer of the current run (hooks may read it)."""
+        if self._w is None:
+            raise RuntimeError("weights are only available while run() is active")
+        return self._w
+
+    def resolved_batch_size(self) -> int:
+        """The macro-step length actually used."""
+        if self.batch_size == "auto":
+            tau = self.staleness.max_delay
+            return int(min(max(self.num_workers * (tau + 1), 1), _HISTORY_CAP))
+        return int(self.batch_size)
+
+    def apply_dense_update(self, delta: np.ndarray, *, worker_id: int = -1) -> None:
+        """Apply ``w += delta`` and log one dense update record.
+
+        Epoch hooks use this (e.g. SVRG's accumulated ``-λµ`` term in
+        skip-dense mode) so the dense write participates in the conflict
+        replay exactly as :meth:`SharedModel.apply_dense_update` would —
+        including the record's support, ``nonzero(delta)``.
+        """
+        if self._w is None or self._log is None:
+            raise RuntimeError("apply_dense_update is only valid while run() is active")
+        self._w += delta
+        self._log.append(
+            np.zeros(1, dtype=np.int8),
+            np.full(1, worker_id, dtype=np.int64),
+            np.full(1, -1, dtype=np.int64),
+            np.full(1, self._register_dense_mask(delta), dtype=np.int64),
+        )
+        self._prune_dense_masks()
+
+    def _register_dense_mask(self, vec: np.ndarray) -> int:
+        """Store ``nonzero(vec)`` as a support mask; returns its reference id."""
+        ref = self._dense_ref_counter
+        self._dense_ref_counter += 1
+        self._dense_masks[ref] = vec != 0
+        return ref
+
+    def _prune_dense_masks(self) -> None:
+        """Drop support masks no longer referenced by the retained tail."""
+        live = {int(r) for r in self._log.dense_ref[self._log.kind == 0]}
+        live.add(self._last_dense_ref)
+        self._dense_masks = {k: v for k, v in self._dense_masks.items() if k in live}
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        epochs: int,
+        *,
+        initial_weights: Optional[np.ndarray] = None,
+        reshuffle: bool = True,
+        regenerate: bool = False,
+        keep_epoch_weights: bool = False,
+    ) -> SimulationResult:
+        """Simulate ``epochs`` passes of batched asynchronous execution."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        d = self.X.n_cols
+        if initial_weights is not None:
+            w = np.ascontiguousarray(initial_weights, dtype=np.float64).copy()
+            if w.shape != (d,):
+                raise ValueError(f"initial_weights must have shape ({d},)")
+        else:
+            w = np.zeros(d, dtype=np.float64)
+        self._w = w
+        self._maxlen = min(
+            max(self.staleness.max_delay, 1) * max(self.num_workers, 1), _HISTORY_CAP
+        )
+        rpi = int(getattr(self.update_rule, "records_per_iteration", 1))
+        # A stale read looks back at most max_delay records; keep one extra
+        # iteration's worth so block boundaries never truncate a window.
+        self._log = _RecordLog(keep=max(min(self.staleness.max_delay, self._maxlen) + rpi, rpi))
+        self._dense_masks = {}
+        self._dense_ref_counter = 0
+        self._last_dense_obj = None
+        self._last_dense_ref = -1
+        block = self.resolved_batch_size()
+
+        trace = ExecutionTrace(iterations=[] if self.record_iterations else None)
+        epoch_weights: List[np.ndarray] = []
+        global_step = 0
+
+        for epoch in range(epochs):
+            event = EpochEvent(epoch=epoch)
+            if self.epoch_begin is not None:
+                self.epoch_begin(self, epoch, event)
+            if epoch > 0:
+                for worker in self.workers:
+                    worker.start_epoch(reshuffle=reshuffle, regenerate=regenerate)
+            schedule = np.concatenate(
+                [np.full(wk.iterations_per_epoch, wk.worker_id, dtype=np.int64) for wk in self.workers]
+            )
+            self._rng.shuffle(schedule)
+
+            # Vectorized worker bookkeeping: each worker hands over its
+            # scheduled samples for the whole epoch in one slice, placed at
+            # its schedule positions (the consumption order per worker is
+            # identical to the per-sample engine's).
+            rows = np.empty(schedule.size, dtype=np.int64)
+            step_weights = np.empty(schedule.size, dtype=np.float64)
+            for worker in self.workers:
+                mask = schedule == worker.worker_id
+                count = int(mask.sum())
+                if count:
+                    g_rows, _local, s_w = worker.next_samples(count)
+                    rows[mask] = g_rows
+                    step_weights[mask] = s_w
+
+            for start in range(0, schedule.size, block):
+                stop = min(start + block, schedule.size)
+                global_step = self._run_block(
+                    event,
+                    trace,
+                    rows[start:stop],
+                    schedule[start:stop],
+                    step_weights[start:stop],
+                    global_step,
+                )
+
+            if self.epoch_end is not None:
+                self.epoch_end(self, epoch, event)
+            trace.add_epoch(event)
+            snapshot = w.copy()
+            if keep_epoch_weights:
+                epoch_weights.append(snapshot)
+            if self.epoch_callback is not None:
+                self.epoch_callback(epoch, snapshot)
+
+        self._w = None
+        self._log = None
+        return SimulationResult(
+            weights=w.copy(),
+            trace=trace,
+            epoch_weights=epoch_weights if keep_epoch_weights else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_block(
+        self,
+        event: EpochEvent,
+        trace: ExecutionTrace,
+        rows: np.ndarray,
+        wids: np.ndarray,
+        step_weights: np.ndarray,
+        global_step: int,
+    ) -> int:
+        """Execute one macro-step; returns the advanced global step counter."""
+        w = self._w
+        rule = self.update_rule
+        n_iter = rows.size
+        delays = self.staleness.draw_batch(self._rng, n_iter)
+
+        idx, val, lengths = self.X.gather_rows(rows)
+        margins = self.kernel.segment_margins(idx, val, lengths, w)
+        entry_weights = rule.block_entry_weights(
+            w=w,
+            rows=rows,
+            y=self.y[rows],
+            margins=margins,
+            step_weights=step_weights,
+            idx=idx,
+            val=val,
+            lengths=lengths,
+        )
+
+        # Register the support of the rule's dense delta (one mask per
+        # distinct vector — SVRG installs a fresh -λµ each epoch), then
+        # replay the per-sample conflict accounting against the pre-update
+        # history plus this block's own record stream.
+        dense = rule.dense_delta
+        if dense is not None and self._last_dense_obj is not dense:
+            self._last_dense_ref = self._register_dense_mask(dense)
+            self._last_dense_obj = dense
+        block_records = self._block_records(
+            wids, rows, self._last_dense_ref if dense is not None else -1
+        )
+        conflicts = self._replay_conflicts(rows, wids, delays, idx, lengths, block_records)
+
+        if dense is not None:
+            w += n_iter * dense
+        self.kernel.scatter_add(w, idx, entry_weights)
+        self._log.append(*block_records)
+        self._prune_dense_masks()
+
+        # The per-sample engine prices a dense update at the full dimension
+        # (SharedModel.apply_dense_update touches every coordinate).
+        dense_per_iter = int(dense.shape[0]) if dense is not None else 0
+        event.merge_bulk(
+            iterations=n_iter,
+            grad_nnz=rule.grad_nnz_multiplier * int(lengths.sum()),
+            dense_coords=dense_per_iter * n_iter,
+            conflicts=int(conflicts.sum()),
+            sample_draws=n_iter if self.count_sample_draws else 0,
+            stale_reads=int(np.count_nonzero(delays > 0)),
+            max_delay=int(delays.max(initial=0)),
+        )
+        if self.record_iterations and trace.iterations is not None:
+            for k in range(n_iter):
+                trace.iterations.append(
+                    IterationEvent(
+                        global_step=global_step + k,
+                        worker_id=int(wids[k]),
+                        sample_index=int(rows[k]),
+                        delay=int(delays[k]),
+                        conflicts=int(conflicts[k]),
+                        grad_nnz=int(lengths[k]),
+                        step_scale=float(step_weights[k]),
+                    )
+                )
+        return global_step + n_iter
+
+    # ------------------------------------------------------------------ #
+    def _block_records(
+        self, wids: np.ndarray, rows: np.ndarray, dense_ref: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """This block's ``(kind, worker, row, dense_ref)`` record stream.
+
+        One sparse record per iteration, preceded by ``rpi - 1`` dense
+        records (SVRG applies its dense µ term before the sparse delta, so
+        within an iteration the sparse record comes last).
+        """
+        rpi = int(getattr(self.update_rule, "records_per_iteration", 1))
+        n_iter = wids.size
+        if rpi == 1:
+            return np.ones(n_iter, dtype=np.int8), wids, rows, np.full(n_iter, -1, dtype=np.int64)
+        per_iter = np.concatenate([np.zeros(rpi - 1, dtype=np.int8), np.ones(1, dtype=np.int8)])
+        kind = np.tile(per_iter, n_iter)
+        worker = np.repeat(wids, rpi)
+        row = np.where(kind == 1, np.repeat(rows, rpi), -1)
+        ref = np.where(kind == 0, dense_ref, -1).astype(np.int64)
+        return kind, worker, row, ref
+
+    def _replay_conflicts(
+        self,
+        rows: np.ndarray,
+        wids: np.ndarray,
+        delays: np.ndarray,
+        idx: np.ndarray,
+        lengths: np.ndarray,
+        block_records: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> np.ndarray:
+        """Per-iteration conflict counts, replaying the per-sample semantics.
+
+        Iteration ``k`` of the block reads at record position
+        ``R_k = total_records + rpi * k`` and misses the last
+        ``min(delay_k, R_k, maxlen)`` records; every missed record written
+        by another worker whose support intersects the read support counts
+        once — exactly :meth:`SharedModel.read_stale`.
+        """
+        n_iter = rows.size
+        conflicts = np.zeros(n_iter, dtype=np.int64)
+        max_delay = int(self.staleness.max_delay)
+        if max_delay == 0:
+            return conflicts
+        rpi = int(getattr(self.update_rule, "records_per_iteration", 1))
+        log = self._log
+
+        # Record positions and clamped window lengths.
+        read_pos = log.total + rpi * np.arange(n_iter, dtype=np.int64)
+        eff = np.minimum(delays, np.minimum(read_pos, self._maxlen))
+        eff = np.where(lengths > 0, eff, 0)  # empty-support reads never conflict
+        if not eff.any():
+            return conflicts
+
+        # Combined record view: retained tail + this block's records, with
+        # implicit positions base + j for combined index j.
+        n_tail = log.kind.size
+        base = log.total - n_tail
+        blk_kind, blk_worker, blk_row, blk_ref = block_records
+        kind = np.concatenate([log.kind, blk_kind])
+        worker = np.concatenate([log.worker, blk_worker])
+        row = np.concatenate([log.row, blk_row])
+        dense_ref = np.concatenate([log.dense_ref, blk_ref])
+
+        lo = read_pos - eff - base  # combined-index window [lo, hi)
+        hi = read_pos - base
+        lo = np.maximum(lo, 0)
+
+        # ---- dense records: one conflict per foreign dense write whose ---- #
+        # ---- recorded support (nonzero of the written delta) touches  ---- #
+        # ---- the read support, grouped by support mask                ---- #
+        if (kind == 0).any():
+            for ref in np.unique(dense_ref[kind == 0]):
+                mask_vec = self._dense_masks.get(int(ref))
+                if mask_vec is not None:
+                    hit = _segment_bool_any(mask_vec[idx], lengths)
+                else:  # untracked record (defensive): assume a dense support
+                    hit = lengths > 0
+                is_ref = (kind == 0) & (dense_ref == ref)
+                prefix_total = np.concatenate([[0], np.cumsum(is_ref)])
+                total_cnt = prefix_total[hi] - prefix_total[lo]
+                own_cnt = np.zeros(n_iter, dtype=np.int64)
+                for worker_id in np.unique(wids):
+                    sel = wids == worker_id
+                    prefix_own = np.concatenate([[0], np.cumsum(is_ref & (worker == worker_id))])
+                    own_cnt[sel] = (prefix_own[hi] - prefix_own[lo])[sel]
+                conflicts += np.where(hit, total_cnt - own_cnt, 0)
+
+        # ---- sparse records: banded pair machinery over shared columns ---- #
+        sparse_mask = kind == 1
+        spos = np.nonzero(sparse_mask)[0]  # combined indices of sparse records
+        if spos.size == 0:
+            return conflicts
+        srow = row[spos]
+        sworker = worker[spos]
+        # Local sparse index of each reader's own record: block iteration k is
+        # the (n_tail_sparse + k)-th sparse record.
+        n_tail_sparse = int(np.count_nonzero(log.kind == 1))
+        reader_q = n_tail_sparse + np.arange(n_iter, dtype=np.int64)
+        # Window bounds in sparse-index space.
+        lo_q = np.searchsorted(spos, lo, side="left")
+        width = reader_q - lo_q
+        max_width = int(width.max(initial=0))
+        if max_width <= 0:
+            return conflicts
+
+        # Gather supports for the tail's sparse rows once (block rows reuse
+        # the already-gathered arrays; sparse records always carry a real row).
+        t_idx, _t_val, t_lengths = self.X.gather_rows(srow[:n_tail_sparse])
+        ecol = np.concatenate([t_idx, idx])
+        eq = np.concatenate(
+            [
+                np.repeat(np.arange(n_tail_sparse, dtype=np.int64), t_lengths),
+                np.repeat(reader_q, lengths),
+            ]
+        )
+        if ecol.size == 0:
+            return conflicts
+
+        order = np.lexsort((eq, ecol))
+        cs = ecol[order]
+        qs = eq[order]
+
+        # Banded pair sweep: at offset o, each entry is paired with the o-th
+        # previous touch of the same column; a pair conflicts when the later
+        # touch is a block reader and the earlier one falls inside its
+        # window.  Validity is monotone in o (the o-th predecessor only
+        # recedes), so the sweep stops at the first empty offset.
+        pair_writer: list[np.ndarray] = []
+        pair_reader: list[np.ndarray] = []
+        for offset in range(1, min(max_width, cs.size - 1) + 1):
+            a = qs[:-offset]
+            b = qs[offset:]
+            m = (cs[offset:] == cs[:-offset]) & (b >= n_tail_sparse)
+            k_of_b = np.clip(b - n_tail_sparse, 0, n_iter - 1)
+            m &= a >= lo_q[k_of_b]
+            if not m.any():
+                break
+            pair_writer.append(a[m])
+            pair_reader.append(b[m])
+        if not pair_writer:
+            return conflicts
+        writers = np.concatenate(pair_writer)
+        readers = np.concatenate(pair_reader)
+        # Deduplicate (reader, writer) pairs shared by several columns: one
+        # undone update counts once however many coordinates it hits.
+        n_sparse = spos.size
+        keys = np.unique(readers * n_sparse + writers)
+        u_readers = keys // n_sparse
+        u_writers = keys % n_sparse
+        foreign = sworker[u_writers] != sworker[u_readers]
+        if foreign.any():
+            counted = np.bincount(u_readers[foreign] - n_tail_sparse, minlength=n_iter)
+            conflicts += counted
+        return conflicts
+
+
+__all__ = ["BatchedSimulator", "BatchedUpdateRule"]

@@ -1,0 +1,81 @@
+"""Async execution-mode registry (mirrors ``kernels/registry.py``).
+
+The asynchronous solvers can run their simulated execution through two
+engines:
+
+* ``"per_sample"`` — the original :class:`~repro.async_engine.simulator.AsyncSimulator`
+  (one Python-level iteration per update); it is the *ground truth* the
+  batched engine is pinned against, exactly as the ``reference`` kernel
+  backend anchors the ``vectorized`` one.
+* ``"batched"`` — the :class:`~repro.async_engine.batched.BatchedSimulator`
+  macro-step fast path dispatching through the kernel backend's batch
+  primitives.
+
+The active mode is resolved in priority order:
+
+1. an explicit ``async_mode`` argument passed to a solver;
+2. the process-wide default set via :func:`set_default_async_mode`;
+3. the ``REPRO_ASYNC_MODE`` environment variable;
+4. the built-in default, ``"per_sample"`` (trace-exact ground truth).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+#: Environment variable consulted when no explicit mode is configured.
+ASYNC_MODE_ENV_VAR = "REPRO_ASYNC_MODE"
+
+#: The built-in default execution mode.
+DEFAULT_ASYNC_MODE = "per_sample"
+
+_MODES = ("per_sample", "batched")
+
+_default_override: Optional[str] = None
+
+
+def available_async_modes() -> List[str]:
+    """Mode names accepted by :func:`resolve_async_mode`."""
+    return list(_MODES)
+
+
+def default_async_mode() -> str:
+    """The mode the process currently resolves ``async_mode=None`` to."""
+    if _default_override is not None:
+        return _default_override
+    env = os.environ.get(ASYNC_MODE_ENV_VAR, "").strip()
+    if env:
+        return _validate(env)
+    return DEFAULT_ASYNC_MODE
+
+
+def set_default_async_mode(mode: Optional[str]) -> None:
+    """Set (or clear, with ``None``) the process-wide default async mode."""
+    global _default_override
+    _default_override = None if mode is None else _validate(mode)
+
+
+def resolve_async_mode(mode: Optional[str]) -> str:
+    """Normalise an ``async_mode`` argument (name or ``None``) to a mode name."""
+    if mode is None:
+        return default_async_mode()
+    return _validate(mode)
+
+
+def _validate(mode: str) -> str:
+    if mode not in _MODES:
+        raise ValueError(
+            f"unknown async mode {mode!r}; available: {', '.join(_MODES)}"
+        )
+    return mode
+
+
+__all__ = [
+    "ASYNC_MODE_ENV_VAR",
+    "DEFAULT_ASYNC_MODE",
+    "available_async_modes",
+    "default_async_mode",
+    "set_default_async_mode",
+    "resolve_async_mode",
+]

@@ -27,6 +27,19 @@ class StalenessModel(ABC):
     def draw(self, rng: np.random.Generator) -> int:
         """Sample the delay (number of missed updates) for one read."""
 
+    def draw_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Sample ``size`` delays at once (``int64`` array).
+
+        The default falls back to ``size`` scalar :meth:`draw` calls, so a
+        custom model stays exactly stream-compatible with the per-sample
+        simulator; the built-in models override it with one vectorized NumPy
+        draw, which consumes the ``Generator`` bit stream identically to the
+        scalar loop (NumPy draws array elements sequentially) — the batched
+        engine therefore sees the *same* delay sequence as the per-sample
+        engine for a given seed.
+        """
+        return np.array([self.draw(rng) for _ in range(size)], dtype=np.int64)
+
     def expected_delay(self) -> float:
         """Expected delay (used by reports); subclasses may override."""
         return float(self.max_delay) / 2.0
@@ -42,6 +55,9 @@ class ConstantDelay(StalenessModel):
 
     def draw(self, rng: np.random.Generator) -> int:
         return self.max_delay
+
+    def draw_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.max_delay, dtype=np.int64)
 
     def expected_delay(self) -> float:
         return float(self.max_delay)
@@ -62,6 +78,11 @@ class UniformDelay(StalenessModel):
         if self.max_delay == 0:
             return 0
         return int(rng.integers(0, self.max_delay + 1))
+
+    def draw_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.max_delay == 0:
+            return np.zeros(size, dtype=np.int64)
+        return rng.integers(0, self.max_delay + 1, size=size, dtype=np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UniformDelay({self.max_delay})"
@@ -91,6 +112,12 @@ class GeometricDelay(StalenessModel):
         # numpy's geometric counts trials >= 1; shift to start at 0.
         value = int(rng.geometric(self._p)) - 1
         return min(value, self.max_delay)
+
+    def draw_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.max_delay == 0:
+            return np.zeros(size, dtype=np.int64)
+        values = rng.geometric(self._p, size=size).astype(np.int64) - 1
+        return np.minimum(values, self.max_delay)
 
     def expected_delay(self) -> float:
         return min(self.mean_delay, float(self.max_delay))

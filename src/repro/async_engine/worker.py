@@ -89,6 +89,27 @@ class SimulatedWorker:
         weight = float(self._reweighting[local])
         return global_row, local, weight
 
+    def next_samples(self, count: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Consume the next ``count`` samples at once.
+
+        Returns ``(global_rows, local_rows, step_weights)`` as arrays — the
+        vectorized counterpart of ``count`` :meth:`next_sample` calls, used
+        by the batched engine so worker bookkeeping is one slice per
+        macro-step instead of one Python call per iteration.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if self._position + count > len(self.sequence):
+            raise RuntimeError(
+                f"worker {self.worker_id} has {self.remaining_iterations()} iterations "
+                f"left in its epoch sequence but {count} were requested; call start_epoch()"
+            )
+        local = np.asarray(
+            self.sequence.indices[self._position : self._position + count], dtype=np.int64
+        )
+        self._position += count
+        return self.shard.row_indices[local], local, self._reweighting[local]
+
     def start_epoch(self, *, reshuffle: bool = True, regenerate: bool = False,
                     sampler_seed: Optional[int] = None) -> None:
         """Reset the per-epoch cursor and refresh the sample sequence.

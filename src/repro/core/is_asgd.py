@@ -23,6 +23,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.async_engine.batched import BatchedSimulator
+from repro.async_engine.modes import resolve_async_mode
 from repro.async_engine.simulator import AsyncSimulator
 from repro.async_engine.staleness import StalenessModel, UniformDelay
 from repro.async_engine.worker import build_workers
@@ -30,7 +32,7 @@ from repro.core.balancing import BalancingDecision, balance_dataset
 from repro.core.config import ISASGDConfig
 from repro.core.importance import ImportanceScheme
 from repro.core.partition import partition_dataset
-from repro.solvers.asgd import SparseSGDUpdateRule
+from repro.solvers.asgd import BatchedSparseSGDRule, SparseSGDUpdateRule
 from repro.solvers.base import BaseSolver, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import as_rng
@@ -52,6 +54,12 @@ class ISASGDSolver(BaseSolver):
         ``UniformDelay(config.effective_max_delay)``).
     backend:
         ``"simulated"`` (default) or ``"threads"``.
+    async_mode:
+        Execution engine for the simulated backend: ``"per_sample"`` (ground
+        truth) or ``"batched"`` (macro-step fast path through the kernel
+        layer); ``None`` resolves via ``REPRO_ASYNC_MODE``.
+    batch_size:
+        Macro-step length for the batched engine (``"auto"`` by default).
     """
 
     name = "is_asgd"
@@ -64,6 +72,8 @@ class ISASGDSolver(BaseSolver):
         staleness: Optional[StalenessModel] = None,
         backend: str = "simulated",
         kernel=None,
+        async_mode: Optional[str] = None,
+        batch_size="auto",
         **config_overrides,
     ) -> None:
         if config is None:
@@ -83,6 +93,8 @@ class ISASGDSolver(BaseSolver):
         self.config = config
         self.staleness = staleness
         self.backend = backend
+        self.async_mode = resolve_async_mode(async_mode)
+        self.batch_size = batch_size
 
     @property
     def parallel_workers(self) -> int:
@@ -128,16 +140,32 @@ class ISASGDSolver(BaseSolver):
             seed=int(rng.integers(0, 2**31 - 1)),
             importance_sampling=cfg.importance is ImportanceScheme.LIPSCHITZ,
         )
-        rule = SparseSGDUpdateRule(objective=problem.objective, step_size=cfg.step_size)
         staleness = self.staleness or UniformDelay(cfg.effective_max_delay)
-        simulator = AsyncSimulator(
-            X=problem.X,
-            y=problem.y,
-            workers=workers,
-            update_rule=rule,
-            staleness=staleness,
-            seed=int(rng.integers(0, 2**31 - 1)),
-        )
+        sim_seed = int(rng.integers(0, 2**31 - 1))
+        if self.async_mode == "batched":
+            simulator = BatchedSimulator(
+                X=problem.X,
+                y=problem.y,
+                workers=workers,
+                update_rule=BatchedSparseSGDRule(
+                    objective=problem.objective, step_size=cfg.step_size
+                ),
+                staleness=staleness,
+                seed=sim_seed,
+                batch_size=self.batch_size,
+                kernel=self.kernel,
+            )
+        else:
+            simulator = AsyncSimulator(
+                X=problem.X,
+                y=problem.y,
+                workers=workers,
+                update_rule=SparseSGDUpdateRule(
+                    objective=problem.objective, step_size=cfg.step_size
+                ),
+                staleness=staleness,
+                seed=sim_seed,
+            )
         sim_result = simulator.run(
             cfg.epochs,
             initial_weights=initial_weights,
@@ -146,6 +174,7 @@ class ISASGDSolver(BaseSolver):
             keep_epoch_weights=True,
         )
         info = self._info(problem, partition, balancing)
+        info["async_mode"] = self.async_mode
         info["conflict_rate"] = sim_result.trace.conflict_rate()
         info["max_delay"] = staleness.max_delay
         return self._finalize(

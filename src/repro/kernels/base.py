@@ -77,6 +77,40 @@ class KernelBackend(ABC):
         """
 
     # ------------------------------------------------------------------ #
+    # Gathered-row (pre-sliced CSR) batch primitives
+    # ------------------------------------------------------------------ #
+    def segment_margins(
+        self, idx: np.ndarray, val: np.ndarray, lengths: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        """Margins of already-gathered rows: ``out[t] = Σ_k val_t[k] * w[idx_t[k]]``.
+
+        ``(idx, val, lengths)`` is the flat layout produced by
+        :meth:`CSRMatrix.gather_rows`; callers that already hold the gathered
+        arrays (the batched async engine) use this instead of :meth:`margins`
+        to avoid a second gather.  The generic implementation loops over the
+        segments; backends override it with segment reductions.
+        """
+        out = np.zeros(lengths.size, dtype=np.float64)
+        start = 0
+        for t, length in enumerate(lengths):
+            stop = start + int(length)
+            if stop > start:
+                out[t] = float(np.dot(val[start:stop], w[idx[start:stop]]))
+            start = stop
+        return out
+
+    def scatter_add(self, w: np.ndarray, idx: np.ndarray, weights: np.ndarray) -> None:
+        """In-place scatter-add ``w[idx] += weights`` with repeated indices.
+
+        ``idx`` is a flat (gathered) column-index array that may contain
+        duplicates across rows; every entry must be accumulated.  This is the
+        write half of a batched macro-step: compute per-entry deltas, then
+        fold the whole block into the model with one call.
+        """
+        if idx.size:
+            np.add.at(w, idx, weights)
+
+    # ------------------------------------------------------------------ #
     # Per-sample hot path
     # ------------------------------------------------------------------ #
     def row(self, X: CSRMatrix, i: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -59,6 +59,12 @@ class ReferenceKernel(KernelBackend):
                 np.add.at(out, idx, float(coeffs[t]) * val)
         return out
 
+    # segment_margins: the KernelBackend default *is* the reference loop.
+
+    def scatter_add(self, w: np.ndarray, idx: np.ndarray, weights: np.ndarray) -> None:
+        for k in range(idx.size):
+            w[int(idx[k])] += float(weights[k])
+
     def batch_grad(
         self,
         obj,

@@ -79,6 +79,19 @@ class VectorizedKernel(KernelBackend):
             out += np.bincount(idx, weights=weights, minlength=out.shape[0])
         return out
 
+    def segment_margins(
+        self, idx: np.ndarray, val: np.ndarray, lengths: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        return _segment_sums(val * w[idx], lengths)
+
+    def scatter_add(self, w: np.ndarray, idx: np.ndarray, weights: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        # Compress onto the touched columns before the dense write so the
+        # cost stays O(nnz log nnz) rather than O(d) per block.
+        cols, inverse = np.unique(idx, return_inverse=True)
+        w[cols] += np.bincount(inverse, weights=weights, minlength=cols.size)
+
     def batch_grad(
         self,
         obj,

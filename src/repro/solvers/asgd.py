@@ -15,12 +15,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.async_engine.batched import BatchedSimulator
+from repro.async_engine.modes import resolve_async_mode
 from repro.async_engine.simulator import AsyncSimulator
 from repro.async_engine.staleness import StalenessModel, UniformDelay
 from repro.async_engine.worker import build_workers
 from repro.core.balancing import random_order
 from repro.core.partition import partition_dataset
 from repro.objectives.base import Objective
+from repro.objectives.regularizers import NoRegularizer
 from repro.solvers.base import BaseSolver, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import RandomState, as_rng
@@ -59,6 +62,42 @@ class SparseSGDUpdateRule:
         return delta, 0
 
 
+@dataclass
+class BatchedSparseSGDRule:
+    """Macro-step counterpart of :class:`SparseSGDUpdateRule`.
+
+    Computes a whole block of SGD deltas from the block-start margins: the
+    loss derivatives come from the objective's batch API and the separable
+    regulariser is evaluated coordinate-wise on the gathered support, so one
+    scatter-add applies the entire macro-step.
+    """
+
+    objective: Objective
+    step_size: float
+    records_per_iteration: int = 1
+    grad_nnz_multiplier: int = 1
+    dense_delta = None
+
+    def block_entry_weights(
+        self,
+        *,
+        w: np.ndarray,
+        rows: np.ndarray,
+        y: np.ndarray,
+        margins: np.ndarray,
+        step_weights: np.ndarray,
+        idx: np.ndarray,
+        val: np.ndarray,
+        lengths: np.ndarray,
+    ) -> np.ndarray:
+        coeffs = self.objective.batch_grad_coeffs(margins, y)
+        entry = np.repeat(step_weights * coeffs, lengths) * val
+        reg = self.objective.regularizer
+        if idx.size and not isinstance(reg, NoRegularizer):
+            entry = entry + np.repeat(step_weights, lengths) * reg.grad_coords(w, idx)
+        return -self.step_size * entry
+
+
 class ASGDSolver(BaseSolver):
     """Hogwild-style asynchronous SGD with uniform sampling.
 
@@ -73,6 +112,14 @@ class ASGDSolver(BaseSolver):
         ``"simulated"`` (default) runs the perturbed-iterate simulator;
         ``"threads"`` runs the real lock-free threading backend (functional
         validation only — the GIL prevents real speedup).
+    async_mode:
+        Execution engine for the simulated backend: ``"per_sample"`` (ground
+        truth) or ``"batched"`` (macro-step fast path through the kernel
+        layer); ``None`` resolves via :mod:`repro.async_engine.modes`
+        (``REPRO_ASYNC_MODE``).
+    batch_size:
+        Macro-step length for the batched engine (``"auto"`` scales with
+        ``num_workers * (max_delay + 1)``).
     """
 
     name = "asgd"
@@ -89,6 +136,8 @@ class ASGDSolver(BaseSolver):
         staleness: Optional[StalenessModel] = None,
         backend: str = "simulated",
         kernel=None,
+        async_mode: Optional[str] = None,
+        batch_size="auto",
     ) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
                          cost_model=cost_model, record_every=record_every, kernel=kernel)
@@ -99,6 +148,8 @@ class ASGDSolver(BaseSolver):
         self.num_workers = int(num_workers)
         self.staleness = staleness
         self.backend = backend
+        self.async_mode = resolve_async_mode(async_mode)
+        self.batch_size = batch_size
 
     @property
     def parallel_workers(self) -> int:
@@ -128,20 +179,37 @@ class ASGDSolver(BaseSolver):
             seed=int(rng.integers(0, 2**31 - 1)),
             importance_sampling=False,
         )
-        rule = SparseSGDUpdateRule(objective=problem.objective, step_size=self.step_size)
         staleness = self.staleness or UniformDelay(max(self.num_workers - 1, 0))
-        simulator = AsyncSimulator(
-            X=problem.X,
-            y=problem.y,
-            workers=workers,
-            update_rule=rule,
-            staleness=staleness,
-            seed=int(rng.integers(0, 2**31 - 1)),
-        )
+        sim_seed = int(rng.integers(0, 2**31 - 1))
+        if self.async_mode == "batched":
+            simulator = BatchedSimulator(
+                X=problem.X,
+                y=problem.y,
+                workers=workers,
+                update_rule=BatchedSparseSGDRule(
+                    objective=problem.objective, step_size=self.step_size
+                ),
+                staleness=staleness,
+                seed=sim_seed,
+                batch_size=self.batch_size,
+                kernel=self.kernel,
+            )
+        else:
+            simulator = AsyncSimulator(
+                X=problem.X,
+                y=problem.y,
+                workers=workers,
+                update_rule=SparseSGDUpdateRule(
+                    objective=problem.objective, step_size=self.step_size
+                ),
+                staleness=staleness,
+                seed=sim_seed,
+            )
         sim_result = simulator.run(self.epochs, initial_weights=initial_weights,
                                    keep_epoch_weights=True)
         info = {
             "backend": "simulated",
+            "async_mode": self.async_mode,
             "num_workers": self.num_workers,
             "max_delay": staleness.max_delay,
             "conflict_rate": sim_result.trace.conflict_rate(),
@@ -190,4 +258,4 @@ class ASGDSolver(BaseSolver):
         return self._finalize(problem, weights_by_epoch, trace, include_sampling=False, info=info)
 
 
-__all__ = ["ASGDSolver", "SparseSGDUpdateRule"]
+__all__ = ["ASGDSolver", "SparseSGDUpdateRule", "BatchedSparseSGDRule"]

@@ -19,15 +19,75 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.async_engine.batched import BatchedSimulator
 from repro.async_engine.events import EpochEvent, ExecutionTrace
+from repro.async_engine.modes import resolve_async_mode
 from repro.async_engine.shared_model import SharedModel
 from repro.async_engine.staleness import StalenessModel, UniformDelay
 from repro.async_engine.worker import build_workers
 from repro.core.balancing import random_order
 from repro.core.partition import partition_dataset
+from repro.objectives.base import Objective
 from repro.solvers.base import BaseSolver, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass
+class BatchedSVRGRule:
+    """Macro-step SVRG update: variance-reduced deltas from block-start margins.
+
+    The epoch hook installs the snapshot state (``s``, ``µ`` and the
+    precomputed snapshot margins ``X @ s``); each block then evaluates
+    ``-λ (phi'(⟨x_i, ŵ⟩) - phi'(⟨x_i, s⟩)) x_i`` for every scheduled sample
+    through the objective's batch API, and the simulator applies the dense
+    ``-λµ`` term once per iteration (folded into one vector add per block).
+    """
+
+    objective: Objective
+    step_size: float
+    skip_dense_term: bool = False
+    dense_delta: Optional[np.ndarray] = None
+    records_per_iteration: int = 2
+    grad_nnz_multiplier: int = 2
+
+    def __post_init__(self) -> None:
+        if self.skip_dense_term:
+            # Skip-µ ablation: one sparse record per iteration; the dense
+            # term is applied (and logged) once per epoch by the epoch hook.
+            self.records_per_iteration = 1
+        self._snapshot_margins: Optional[np.ndarray] = None
+        self._mu: Optional[np.ndarray] = None
+
+    def set_snapshot(self, mu: np.ndarray, snapshot_margins: np.ndarray) -> None:
+        """Install the per-epoch snapshot state (called by the epoch hook)."""
+        self._mu = mu
+        self._snapshot_margins = snapshot_margins
+        self.dense_delta = None if self.skip_dense_term else -self.step_size * mu
+
+    def epoch_dense_delta(self, iterations: int) -> np.ndarray:
+        """The accumulated ``-λ µ · iterations`` term of the skip-µ ablation."""
+        if self._mu is None:
+            raise RuntimeError("set_snapshot must be called before epoch_dense_delta")
+        return -self.step_size * self._mu * iterations
+
+    def block_entry_weights(
+        self,
+        *,
+        w: np.ndarray,
+        rows: np.ndarray,
+        y: np.ndarray,
+        margins: np.ndarray,
+        step_weights: np.ndarray,
+        idx: np.ndarray,
+        val: np.ndarray,
+        lengths: np.ndarray,
+    ) -> np.ndarray:
+        if self._snapshot_margins is None:
+            raise RuntimeError("set_snapshot must be called before the first block")
+        coef_w = self.objective.batch_grad_coeffs(margins, y)
+        coef_s = self.objective.batch_grad_coeffs(self._snapshot_margins[rows], y)
+        return -self.step_size * np.repeat(coef_w - coef_s, lengths) * val
 
 
 class SVRGASGDSolver(BaseSolver):
@@ -47,6 +107,8 @@ class SVRGASGDSolver(BaseSolver):
         staleness: Optional[StalenessModel] = None,
         skip_dense_term: bool = False,
         kernel=None,
+        async_mode: Optional[str] = None,
+        batch_size="auto",
     ) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
                          cost_model=cost_model, record_every=record_every, kernel=kernel)
@@ -55,6 +117,8 @@ class SVRGASGDSolver(BaseSolver):
         self.num_workers = int(num_workers)
         self.staleness = staleness
         self.skip_dense_term = bool(skip_dense_term)
+        self.async_mode = resolve_async_mode(async_mode)
+        self.batch_size = batch_size
 
     @property
     def parallel_workers(self) -> int:
@@ -81,6 +145,9 @@ class SVRGASGDSolver(BaseSolver):
                                 seed=int(rng.integers(0, 2**31 - 1)),
                                 importance_sampling=False)
         staleness = self.staleness or UniformDelay(max(self.num_workers - 1, 0))
+
+        if self.async_mode == "batched":
+            return self._fit_batched(problem, rng, workers, staleness, initial_weights)
 
         history = max(staleness.max_delay, 1) * max(self.num_workers, 1)
         model = SharedModel(d, history=min(history, 4096), initial=initial_weights)
@@ -149,9 +216,69 @@ class SVRGASGDSolver(BaseSolver):
             "num_workers": self.num_workers,
             "max_delay": staleness.max_delay,
             "skip_dense_term": self.skip_dense_term,
+            "async_mode": "per_sample",
             "conflict_rate": trace.conflict_rate(),
         }
         return self._finalize(problem, weights_by_epoch, trace, include_sampling=False, info=info)
 
+    # ------------------------------------------------------------------ #
+    def _fit_batched(self, problem: Problem, rng, workers, staleness, initial_weights) -> TrainResult:
+        """Macro-step execution through :class:`BatchedSimulator`.
 
-__all__ = ["SVRGASGDSolver"]
+        The epoch-begin hook performs Algorithm 1's sync step (snapshot +
+        full gradient, computed through the kernel backend) and installs the
+        snapshot margins in the rule; every inner block then goes through
+        the kernel's batch primitives.  The same ``rng`` drives the schedule
+        shuffles and delay draws, so the trace matches the per-sample loop.
+        """
+        X, y, obj = problem.X, problem.y, problem.objective
+        d = problem.n_features
+        rule = BatchedSVRGRule(
+            objective=obj, step_size=self.step_size, skip_dense_term=self.skip_dense_term
+        )
+        inner_per_epoch = sum(w.iterations_per_epoch for w in workers)
+        kernel = self.kernel
+
+        def epoch_begin(sim: BatchedSimulator, epoch: int, event: EpochEvent) -> None:
+            snapshot = sim.weights.copy()
+            mu = obj.full_gradient(snapshot, X, y)
+            rule.set_snapshot(mu, kernel.matvec(X, snapshot))
+            event.merge_bulk(iterations=1, grad_nnz=X.nnz, dense_coords=d)
+
+        def epoch_end(sim: BatchedSimulator, epoch: int, event: EpochEvent) -> None:
+            if self.skip_dense_term:
+                sim.apply_dense_update(rule.epoch_dense_delta(inner_per_epoch), worker_id=-1)
+                event.merge_bulk(iterations=1, grad_nnz=0, dense_coords=d)
+
+        simulator = BatchedSimulator(
+            X=X,
+            y=y,
+            workers=workers,
+            update_rule=rule,
+            staleness=staleness,
+            seed=rng,
+            batch_size=self.batch_size,
+            kernel=kernel,
+            epoch_begin=epoch_begin,
+            epoch_end=epoch_end,
+            count_sample_draws=False,
+        )
+        sim_result = simulator.run(self.epochs, initial_weights=initial_weights,
+                                   keep_epoch_weights=True)
+        info = {
+            "num_workers": self.num_workers,
+            "max_delay": staleness.max_delay,
+            "skip_dense_term": self.skip_dense_term,
+            "async_mode": "batched",
+            "conflict_rate": sim_result.trace.conflict_rate(),
+        }
+        return self._finalize(
+            problem,
+            sim_result.epoch_weights or [sim_result.weights],
+            sim_result.trace,
+            include_sampling=False,
+            info=info,
+        )
+
+
+__all__ = ["SVRGASGDSolver", "BatchedSVRGRule"]

@@ -112,3 +112,61 @@ class TestCalibration:
                                   conflict_penalty=2.5, base_parallel_efficiency=0.8)
         assert cm.params.conflict_penalty == pytest.approx(2.5)
         assert cm.params.base_parallel_efficiency == pytest.approx(0.8)
+
+
+class TestSingleWorkerDegenerateCase:
+    """num_workers == 1 must collapse to the serial cost exactly."""
+
+    def test_parallel_efficiency_is_one(self):
+        model = CostModel()
+        assert model.parallel_efficiency(0.0, 1) == 1.0
+        # Conflicts are impossible with one worker, but even a nonsense
+        # conflict rate must not price a serial run below/above serial time.
+        assert model.parallel_efficiency(5.0, 1) == 1.0
+        assert model.parallel_efficiency(0.0, 0) == 1.0
+
+    def test_wall_clock_equals_serial_time(self):
+        model = CostModel()
+        epoch = _epoch(iterations=50, sparse=500, dense=20, conflicts=7, draws=50)
+        assert model.epoch_wall_clock(epoch, 1) == pytest.approx(
+            model.epoch_serial_time(epoch)
+        )
+
+    def test_single_worker_never_faster_than_many(self):
+        model = CostModel()
+        epoch = _epoch(conflicts=10)
+        assert model.epoch_wall_clock(epoch, 1) > model.epoch_wall_clock(epoch, 8)
+
+
+class TestZeroDelayZeroWorkEdgeCases:
+    def test_empty_epoch_costs_nothing(self):
+        model = CostModel()
+        empty = _epoch(iterations=0, sparse=0, dense=0, conflicts=0, draws=0)
+        assert model.epoch_serial_time(empty) == 0.0
+        assert model.epoch_wall_clock(empty, 4) == 0.0
+
+    def test_empty_trace_wall_clock(self):
+        model = CostModel()
+        times = model.trace_wall_clock(ExecutionTrace(), 4)
+        assert times.shape == (0,)
+
+    def test_zero_conflict_rate_epoch_uses_base_efficiency(self):
+        """A zero-delay run (no conflicts) is priced at the base efficiency."""
+        model = CostModel()
+        epoch = _epoch(conflicts=0)
+        expected = model.epoch_serial_time(epoch) / (
+            8 * model.params.base_parallel_efficiency
+        )
+        assert model.epoch_wall_clock(epoch, 8) == pytest.approx(expected)
+
+    def test_iteration_with_no_coordinates(self):
+        """An empty-support iteration still pays the fixed overhead."""
+        model = CostModel()
+        t = model.iteration_compute_time(0, 0, sample_draws=0)
+        assert t == pytest.approx(model.params.iteration_overhead)
+
+    def test_negative_conflict_rate_clamped(self):
+        model = CostModel()
+        assert model.parallel_efficiency(-1.0, 8) == pytest.approx(
+            model.params.base_parallel_efficiency
+        )

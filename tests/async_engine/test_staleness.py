@@ -5,6 +5,7 @@ import pytest
 
 from repro.async_engine.staleness import (
     ConstantDelay,
+    StalenessModel,
     GeometricDelay,
     UniformDelay,
     make_staleness_model,
@@ -75,3 +76,65 @@ class TestFactory:
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
             make_staleness_model("exponential", 3)
+
+
+class TestDrawBatch:
+    """Vectorized draws must consume the Generator stream like scalar draws."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ConstantDelay(4),
+            lambda: UniformDelay(7),
+            lambda: GeometricDelay(9, mean_delay=2.0),
+        ],
+        ids=["constant", "uniform", "geometric"],
+    )
+    def test_matches_scalar_stream(self, make):
+        scalar_rng = np.random.default_rng(42)
+        batch_rng = np.random.default_rng(42)
+        model = make()
+        scalars = [model.draw(scalar_rng) for _ in range(64)]
+        batch = model.draw_batch(batch_rng, 64)
+        assert batch.dtype == np.int64
+        assert batch.tolist() == scalars
+
+    def test_default_fallback_loops_scalar_draw(self):
+        class EveryOther(StalenessModel):
+            max_delay = 1
+
+            def draw(self, rng):
+                return int(rng.integers(0, 2))
+
+        scalar_rng = np.random.default_rng(0)
+        batch_rng = np.random.default_rng(0)
+        model = EveryOther()
+        scalars = [model.draw(scalar_rng) for _ in range(32)]
+        assert model.draw_batch(batch_rng, 32).tolist() == scalars
+
+    def test_empty_batch(self, rng):
+        assert UniformDelay(3).draw_batch(rng, 0).shape == (0,)
+
+
+class TestZeroDelayEdgeCases:
+    """Zero-delay models: always fresh and no Generator consumption."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: ConstantDelay(0), lambda: UniformDelay(0), lambda: GeometricDelay(0)],
+        ids=["constant0", "uniform0", "geometric0"],
+    )
+    def test_all_draws_zero_and_stream_untouched(self, make):
+        model = make()
+        rng = np.random.default_rng(3)
+        untouched = np.random.default_rng(3)
+        assert all(model.draw(rng) == 0 for _ in range(10))
+        assert not model.draw_batch(rng, 100).any()
+        # A zero-delay model never consumes randomness, so changing the
+        # staleness model cannot shift any other seeded draw.
+        assert float(rng.random()) == float(untouched.random())
+
+    def test_zero_delay_expected_zero(self):
+        assert ConstantDelay(0).expected_delay() == 0.0
+        assert UniformDelay(0).expected_delay() == 0.0
+        assert GeometricDelay(0).expected_delay() == 0.0

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Documentation checks: markdown link integrity + README quickstart smoke.
+
+Run from anywhere inside the repository:
+
+    python tools/check_docs.py            # link check + quickstart execution
+    python tools/check_docs.py --links-only
+
+Checks performed:
+
+1. **Link check** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at an existing file or directory (anchors are
+   stripped; external ``http(s)``/``mailto`` links are not fetched).
+2. **Quickstart smoke** — every ``bash`` code block in the README's
+   *Quickstart* section is executed with ``bash -euo pipefail`` from the
+   repository root (with ``src`` prepended to ``PYTHONPATH``), so the first
+   commands a reader copies are guaranteed to work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks with an info string, non-greedy across lines.
+FENCE_RE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> list[str]:
+    """Return a list of broken-link descriptions (empty when clean)."""
+    problems: list[str] = []
+    for doc in doc_files():
+        text = doc.read_text()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return problems
+
+
+def quickstart_blocks() -> list[str]:
+    """The README Quickstart section's bash blocks, in order."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    section = re.split(r"^## ", readme, flags=re.MULTILINE)
+    quickstart = next((s for s in section if s.startswith("Quickstart")), "")
+    return [body for lang, body in FENCE_RE.findall(quickstart) if lang == "bash"]
+
+
+def run_quickstart() -> list[str]:
+    """Execute the quickstart blocks; return failure descriptions."""
+    blocks = quickstart_blocks()
+    if not blocks:
+        return ["README.md: no bash block found under '## Quickstart'"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    failures: list[str] = []
+    for i, block in enumerate(blocks, 1):
+        print(f"--- quickstart block {i}/{len(blocks)} ---")
+        proc = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", block],
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        if proc.returncode != 0:
+            failures.append(f"README.md quickstart block {i} exited with {proc.returncode}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--links-only", action="store_true",
+                        help="skip executing the quickstart blocks")
+    args = parser.parse_args()
+
+    problems = check_links()
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in doc_files())
+    if problems:
+        print("Broken markdown links:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+    else:
+        print(f"Link check OK ({checked})")
+
+    if not args.links_only:
+        problems += run_quickstart()
+
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s).", file=sys.stderr)
+        return 1
+    print("Documentation checks passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
