@@ -1,0 +1,146 @@
+"""Benchmark: true multi-process cluster speedup (wall-clock, measured).
+
+Unlike every other benchmark in this repository, nothing here is
+simulated: the cluster tier (``async_mode="process"``) runs real OS
+processes over a sharded shared-memory parameter vector, so this is the
+first measurement where the paper's speedup-vs-workers claim is exercised
+against physical cores rather than the cost model.
+
+The gate compares 4 process workers against 1 on the benchmark problem
+using *steady-state* epochs (the first epoch absorbs worker start-up and
+page-fault warm-up and is excluded): with >= 4 usable cores the 4-worker
+configuration must be at least 2x faster.  On smaller machines (the gate
+is meaningless under time-sharing) the benchmark still runs end-to-end and
+records the measured numbers, but the ratio is not asserted — CI runners
+provide the cores, so the gate is enforced there.
+
+Results are written to ``benchmarks/results/BENCH_cluster.json`` and the
+repository root ``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.cluster import ClusterDriver, available_parallelism, occupancy_skew
+from repro.core.balancing import random_order
+from repro.core.partition import partition_dataset
+from repro.datasets.synthetic import SyntheticSpec, make_sparse_classification
+from repro.objectives.logistic import LogisticObjective
+from repro.objectives.regularizers import L2Regularizer
+
+ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+#: Cluster-scale surrogate: enough per-epoch NumPy work that the kernel
+#: batch primitives — not process management — dominate each epoch.
+BENCH_SPEC = SyntheticSpec(
+    n_samples=40_000,
+    n_features=30_000,
+    nnz_per_sample=40.0,
+    feature_skew=1.2,
+    norm_spread=0.8,
+    label_noise=0.02,
+    name="cluster_bench",
+)
+
+EPOCHS = 6
+WORKER_COUNTS = (1, 4)
+SPEEDUP_GATE = 2.0
+REQUIRED_CORES = 4
+
+
+def _steady_state_seconds(epoch_seconds) -> float:
+    """Total wall-clock excluding the start-up epoch."""
+    return float(sum(epoch_seconds[1:])) if len(epoch_seconds) > 1 else float(sum(epoch_seconds))
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_bench_cluster_speedup(benchmark):
+    """4 process workers vs 1 on the shared benchmark problem (measured)."""
+
+    def measure():
+        X, y, _ = make_sparse_classification(BENCH_SPEC, seed=0)
+        objective = LogisticObjective(regularizer=L2Regularizer(1e-4))
+        L = objective.lipschitz_constants(X, y)
+        order = random_order(X.n_rows, seed=0)
+        cores = available_parallelism()
+
+        payload = {
+            "dataset": {
+                "name": BENCH_SPEC.name,
+                "n_samples": X.n_rows,
+                "n_features": X.n_cols,
+                "nnz": X.nnz,
+            },
+            "config": {
+                "epochs": EPOCHS,
+                "worker_counts": list(WORKER_COUNTS),
+                "speedup_gate": SPEEDUP_GATE,
+                "required_cores": REQUIRED_CORES,
+            },
+            "environment": {"available_parallelism": cores},
+            "runs": {},
+        }
+
+        seconds = {}
+        for workers in WORKER_COUNTS:
+            partition = partition_dataset(order, L, workers, scheme="uniform")
+            driver = ClusterDriver(
+                X, y, objective, partition, step_size=0.1, seed=0
+            )
+            run = driver.run(EPOCHS)
+            steady = _steady_state_seconds(run.epoch_seconds)
+            seconds[workers] = steady
+            payload["runs"][str(workers)] = {
+                "epoch_seconds": [round(s, 6) for s in run.epoch_seconds],
+                "steady_state_seconds": round(steady, 6),
+                "conflict_rate": run.trace.conflict_rate(),
+                "mean_measured_delay": run.info["mean_measured_delay"],
+                "occupancy_skew": run.info["occupancy_skew"],
+                "final_loss": objective.full_loss(run.weights, X, y),
+            }
+
+        speedup = seconds[1] / seconds[4] if seconds[4] > 0 else float("inf")
+        gated = cores >= REQUIRED_CORES
+        payload["speedup_4_over_1"] = round(speedup, 4)
+        payload["gated"] = gated
+        if not gated:
+            payload["note"] = (
+                f"measured under time-sharing on {cores} core(s); the >=2x "
+                f"gate needs >= {REQUIRED_CORES} cores and is enforced by the "
+                "CI bench job — the ratio recorded here is NOT a parallel "
+                "speedup measurement"
+            )
+
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        write_result("BENCH_cluster.json", text)
+        ROOT_JSON.write_text(text + "\n")
+        return payload
+
+    payload = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Sanity on any machine: the cluster ran end-to-end at both worker
+    # counts and genuinely optimised.
+    zero_loss = float(np.log(2.0))
+    for workers in WORKER_COUNTS:
+        run = payload["runs"][str(workers)]
+        assert len(run["epoch_seconds"]) == EPOCHS
+        assert run["final_loss"] < zero_loss
+
+    # The wall-clock gate needs real cores; CI runners have them.
+    if payload["gated"]:
+        assert payload["speedup_4_over_1"] >= SPEEDUP_GATE, (
+            f"4-worker cluster speedup {payload['speedup_4_over_1']:.2f}x "
+            f"below the {SPEEDUP_GATE}x gate"
+        )
+    else:
+        pytest.skip(
+            f"speedup gate requires >= {REQUIRED_CORES} cores "
+            f"(have {payload['environment']['available_parallelism']}); "
+            f"measured {payload['speedup_4_over_1']:.2f}x"
+        )

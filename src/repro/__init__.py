@@ -45,6 +45,7 @@ from repro.solvers import (
 )
 from repro.sparse import CSRMatrix, load_libsvm
 from repro.async_engine import CostModel
+from repro.cluster import ClusterCostModel, ClusterDriver
 
 __version__ = "1.0.0"
 
@@ -82,4 +83,7 @@ __all__ = [
     "make_solver",
     # engine
     "CostModel",
+    # cluster (true multi-process execution)
+    "ClusterDriver",
+    "ClusterCostModel",
 ]

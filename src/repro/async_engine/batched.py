@@ -60,6 +60,7 @@ from repro.async_engine.worker import SimulatedWorker
 from repro.kernels.base import KernelBackend
 from repro.kernels.registry import resolve_backend
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import segment_bool_any
 from repro.utils.rng import RandomState, as_rng
 
 #: Upper bound on the per-sample history replayed for stale reads; must
@@ -109,16 +110,6 @@ class BatchedUpdateRule(Protocol):
         model by the simulator.
         """
         ...
-
-
-def _segment_bool_any(mask: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Per-segment ``any`` over a flat boolean entry array."""
-    if mask.size == 0:
-        return np.zeros(lengths.size, dtype=bool)
-    starts = np.cumsum(lengths) - lengths
-    padded = np.concatenate([mask.astype(np.int64), [0]])
-    sums = np.add.reduceat(padded, starts)
-    return (lengths > 0) & (sums > 0)
 
 
 @dataclass
@@ -210,6 +201,10 @@ class BatchedSimulator:
     epoch_end: Optional[Callable[["BatchedSimulator", int, EpochEvent], None]] = None
     epoch_callback: Optional[Callable[[int, np.ndarray], None]] = None
     count_sample_draws: bool = True
+    #: Bounded-history override mirroring ``AsyncSimulator.history`` — the
+    #: replay clamps and counts ``history_overflows`` with the identical
+    #: window arithmetic, so traces stay bit-equal under an override too.
+    history: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.workers:
@@ -306,9 +301,12 @@ class BatchedSimulator:
         else:
             w = np.zeros(d, dtype=np.float64)
         self._w = w
-        self._maxlen = min(
-            max(self.staleness.max_delay, 1) * max(self.num_workers, 1), _HISTORY_CAP
-        )
+        if self.history is not None:
+            self._maxlen = min(int(self.history), _HISTORY_CAP)
+        else:
+            self._maxlen = min(
+                max(self.staleness.max_delay, 1) * max(self.num_workers, 1), _HISTORY_CAP
+            )
         rpi = int(getattr(self.update_rule, "records_per_iteration", 1))
         # A stale read looks back at most max_delay records; keep one extra
         # iteration's worth so block boundaries never truncate a window.
@@ -425,6 +423,17 @@ class BatchedSimulator:
         self._log.append(*block_records)
         self._prune_dense_masks()
 
+        # Replay SharedModel.read_stale's explicit history clamp: iteration
+        # k reads at record position log.total + rpi*k with at most _maxlen
+        # retained records; a requested delay beyond what is retained *and*
+        # ever written counts as a truncated reconstruction.
+        rpi = int(getattr(rule, "records_per_iteration", 1))
+        read_pos = self._log.total - rpi * n_iter + rpi * np.arange(n_iter, dtype=np.int64)
+        avail = np.minimum(read_pos, self._maxlen)
+        overflows = int(
+            np.count_nonzero((delays > avail) & (read_pos > avail) & (lengths > 0))
+        )
+
         # The per-sample engine prices a dense update at the full dimension
         # (SharedModel.apply_dense_update touches every coordinate).
         dense_per_iter = int(dense.shape[0]) if dense is not None else 0
@@ -436,6 +445,7 @@ class BatchedSimulator:
             sample_draws=n_iter if self.count_sample_draws else 0,
             stale_reads=int(np.count_nonzero(delays > 0)),
             max_delay=int(delays.max(initial=0)),
+            history_overflows=overflows,
         )
         if self.record_iterations and trace.iterations is not None:
             for k in range(n_iter):
@@ -526,7 +536,7 @@ class BatchedSimulator:
             for ref in np.unique(dense_ref[kind == 0]):
                 mask_vec = self._dense_masks.get(int(ref))
                 if mask_vec is not None:
-                    hit = _segment_bool_any(mask_vec[idx], lengths)
+                    hit = segment_bool_any(mask_vec[idx], lengths)
                 else:  # untracked record (defensive): assume a dense support
                     hit = lengths > 0
                 is_ref = (kind == 0) & (dense_ref == ref)

@@ -39,6 +39,10 @@ class EpochEvent:
     stale_reads: int = 0
     sample_draws: int = 0
     max_observed_delay: int = 0
+    #: Stale reads whose requested delay exceeded the retained update
+    #: history (the reconstruction window was explicitly truncated — see
+    #: ``SharedModel.history_overflow``).
+    history_overflows: int = 0
 
     def merge_iteration(
         self,
@@ -48,6 +52,7 @@ class EpochEvent:
         conflicts: int,
         delay: int,
         drew_sample: bool = True,
+        history_overflow: int = 0,
     ) -> None:
         """Fold one iteration's counters into the epoch aggregate."""
         self.iterations += 1
@@ -60,6 +65,7 @@ class EpochEvent:
             self.sample_draws += 1
         if delay > self.max_observed_delay:
             self.max_observed_delay = int(delay)
+        self.history_overflows += int(history_overflow)
 
     def merge_bulk(
         self,
@@ -71,6 +77,7 @@ class EpochEvent:
         sample_draws: int = 0,
         stale_reads: int = 0,
         max_delay: int = 0,
+        history_overflows: int = 0,
     ) -> None:
         """Fold a whole batch of iterations' counters in at once.
 
@@ -86,6 +93,7 @@ class EpochEvent:
         self.stale_reads += int(stale_reads)
         if max_delay > self.max_observed_delay:
             self.max_observed_delay = int(max_delay)
+        self.history_overflows += int(history_overflows)
 
     @property
     def conflict_rate(self) -> float:
@@ -123,6 +131,11 @@ class ExecutionTrace:
     def total_dense_coordinate_updates(self) -> int:
         """Total dense coordinate writes across all epochs."""
         return int(sum(e.dense_coordinate_updates for e in self.epochs))
+
+    @property
+    def total_history_overflows(self) -> int:
+        """Total truncated stale-read reconstructions across all epochs."""
+        return int(sum(e.history_overflows for e in self.epochs))
 
     def conflict_rate(self) -> float:
         """Overall conflicts per iteration."""

@@ -1,7 +1,6 @@
 """Async execution-mode registry (mirrors ``kernels/registry.py``).
 
-The asynchronous solvers can run their simulated execution through two
-engines:
+The asynchronous solvers can run their execution through four engines:
 
 * ``"per_sample"`` — the original :class:`~repro.async_engine.simulator.AsyncSimulator`
   (one Python-level iteration per update); it is the *ground truth* the
@@ -10,6 +9,17 @@ engines:
 * ``"batched"`` — the :class:`~repro.async_engine.batched.BatchedSimulator`
   macro-step fast path dispatching through the kernel backend's batch
   primitives.
+* ``"threads"`` — the real lock-free :mod:`repro.async_engine.threads`
+  backend: genuine unsynchronised updates from Python threads (functional
+  validation; the GIL prevents real speedup).
+* ``"process"`` — the :mod:`repro.cluster` tier: true multi-process
+  workers over a sharded ``multiprocessing.shared_memory`` parameter
+  server, with *measured* wall-clock/staleness/conflict accounting.  The
+  only mode whose throughput scales with physical cores.
+
+The simulated modes are deterministic given a seed; ``threads`` and
+``process`` are real concurrent executions (scheduling decides the
+interleaving), validated by tolerance rather than trace equality.
 
 The active mode is resolved in priority order:
 
@@ -30,7 +40,7 @@ ASYNC_MODE_ENV_VAR = "REPRO_ASYNC_MODE"
 #: The built-in default execution mode.
 DEFAULT_ASYNC_MODE = "per_sample"
 
-_MODES = ("per_sample", "batched")
+_MODES = ("per_sample", "batched", "threads", "process")
 
 _default_override: Optional[str] = None
 

@@ -63,6 +63,7 @@ class SharedModel:
         self.conflict_count = 0
         self.stale_read_count = 0
         self.read_count = 0
+        self.history_overflow = 0
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -86,10 +87,25 @@ class SharedModel:
             The (possibly stale) coordinate values and the number of undone
             updates that actually touched the requested coordinates, i.e.
             the conflicts this read suffered.
+
+        Notes
+        -----
+        A requested ``delay`` larger than the retained history is clamped
+        *explicitly*: when records the reconstruction needed have already
+        been evicted from the bounded history (as opposed to simply not
+        having happened yet), the truncation is counted in
+        :attr:`history_overflow` instead of passing silently — the
+        simulators surface that counter on the execution trace.
         """
         self.read_count += 1
         values = self._w[indices].copy()
-        delay = int(min(max(delay, 0), len(self._updates)))
+        requested = int(max(delay, 0))
+        available = len(self._updates)
+        delay = min(requested, available)
+        if indices.size and requested > available and self.version > available:
+            # Evicted records, not merely a short run: the reconstructed
+            # window is genuinely truncated.
+            self.history_overflow += 1
         if delay == 0 or indices.size == 0:
             return values, 0
         self.stale_read_count += 1
@@ -166,6 +182,7 @@ class SharedModel:
         self.conflict_count = 0
         self.stale_read_count = 0
         self.read_count = 0
+        self.history_overflow = 0
 
     def conflict_rate(self) -> float:
         """Conflicts per read performed so far (0.0 when nothing was read)."""

@@ -89,6 +89,13 @@ class AsyncSimulator:
         Optional callable invoked after every epoch with
         ``(epoch_index, model_snapshot)`` — used by solvers to record
         convergence metrics without re-implementing the loop.
+    history:
+        Size of the shared model's bounded update history; defaults to
+        ``max(max_delay, 1) * num_workers`` (capped at 4096), which is
+        always large enough for the configured staleness model.  Smaller
+        overrides make stale reads reconstruct from a truncated window —
+        explicitly clamped and surfaced as ``history_overflows`` on the
+        trace.
     """
 
     X: CSRMatrix
@@ -100,6 +107,7 @@ class AsyncSimulator:
     record_iterations: bool = False
     epoch_callback: Optional[Callable[[int, np.ndarray], None]] = None
     dense_rule_applies_full_vector: bool = False
+    history: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.workers:
@@ -141,7 +149,10 @@ class AsyncSimulator:
         """
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
-        history = max(self.staleness.max_delay, 1) * max(self.num_workers, 1)
+        if self.history is not None:
+            history = int(self.history)
+        else:
+            history = max(self.staleness.max_delay, 1) * max(self.num_workers, 1)
         model = SharedModel(self.X.n_cols, history=min(history, 4096), initial=initial_weights)
 
         trace = ExecutionTrace(iterations=[] if self.record_iterations else None)
@@ -167,9 +178,11 @@ class AsyncSimulator:
                 global_row, _local, step_weight = worker.next_sample()
                 x_idx, x_val = self.X.row(global_row)
                 delay = self.staleness.draw(self._rng)
+                overflow_before = model.history_overflow
                 stale_coords, conflicts = model.read_stale(
                     x_idx, delay, writer_id=worker.worker_id
                 )
+                overflowed = model.history_overflow - overflow_before
                 delta_values, dense_coords = self.update_rule.compute_update(
                     stale_coords, x_idx, x_val, float(self.y[global_row]), step_weight
                 )
@@ -184,6 +197,7 @@ class AsyncSimulator:
                     dense_coords=int(dense_coords),
                     conflicts=conflicts,
                     delay=delay,
+                    history_overflow=overflowed,
                 )
                 if self.record_iterations and trace.iterations is not None:
                     trace.iterations.append(

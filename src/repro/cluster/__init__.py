@@ -1,0 +1,51 @@
+"""Multi-process sharded parameter-server execution tier.
+
+The first execution path in the repository where throughput scales with
+physical cores: the weight vector is partitioned into coordinate shards
+held in ``multiprocessing.shared_memory``, real OS processes apply
+lock-free index-compressed updates through the kernel batch primitives,
+and the driver folds *measured* staleness/conflict/occupancy counters into
+the same trace records the perturbed-iterate simulator emits.
+
+Selected per solver with ``async_mode="process"`` (or globally via
+``REPRO_ASYNC_MODE=process``); see ``docs/cluster.md``.
+"""
+
+from repro.cluster.cost_model import (
+    ClusterCostModel,
+    ClusterCostParameters,
+    compare_traces,
+    occupancy_skew,
+)
+from repro.cluster.driver import (
+    ClusterDriver,
+    ClusterRunResult,
+    available_parallelism,
+    default_start_method,
+)
+from repro.cluster.sharding import (
+    ShardPlan,
+    coloring_shard_plan,
+    feature_coloring,
+    make_shard_plan,
+    range_shard_plan,
+)
+from repro.cluster.shm import ArenaSpec, ShmArena
+
+__all__ = [
+    "ClusterDriver",
+    "ClusterRunResult",
+    "ClusterCostModel",
+    "ClusterCostParameters",
+    "compare_traces",
+    "occupancy_skew",
+    "ShardPlan",
+    "range_shard_plan",
+    "coloring_shard_plan",
+    "feature_coloring",
+    "make_shard_plan",
+    "ShmArena",
+    "ArenaSpec",
+    "available_parallelism",
+    "default_start_method",
+]

@@ -1,0 +1,275 @@
+"""Coordinate shard planning for the parameter-server cluster.
+
+The cluster partitions the *weight vector* (not the samples — that is
+:mod:`repro.core.partition`'s job) into ``num_shards`` coordinate shards,
+each of which lives in its own region of the shared-memory parameter
+buffer.  A :class:`ShardPlan` owns the mapping in both directions:
+
+* ``shard_of[coord]`` — which shard a model coordinate belongs to (drives
+  the per-shard write-occupancy accounting of the cluster cost model);
+* ``flat_of[coord]`` — where the coordinate sits in the *flat layout*, the
+  concatenation of all shards that backs the shared parameter buffer.
+  Range plans keep the identity layout (shard ``s`` is the contiguous
+  coordinate range ``[offsets[s], offsets[s+1])``); coloring plans permute
+  coordinates so each shard is still one contiguous flat slice.
+
+Two planners ship:
+
+* :func:`range_shard_plan` — equal contiguous coordinate ranges, the
+  classical parameter-server layout (default);
+* :func:`coloring_shard_plan` — conflict-aware: the *feature* conflict
+  graph (two coordinates conflict when they co-occur in some sample's
+  support, i.e. one lock-free update writes both) is coloured through
+  :mod:`repro.graph` on the transposed design matrix, and colour classes
+  are mapped to shards so that, whenever ``num_shards`` allows it,
+  conflicting coordinates land in *distinct* shards.  Updates then spread
+  across shards instead of hammering one, which is exactly the occupancy
+  skew the cluster cost model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class ShardPlan:
+    """A partition of ``dim`` model coordinates into contiguous flat shards.
+
+    Attributes
+    ----------
+    dim:
+        Number of model coordinates.
+    shard_of:
+        ``int64[dim]`` — shard id of every coordinate.
+    offsets:
+        ``int64[num_shards + 1]`` — shard boundaries in the flat layout;
+        shard ``s`` occupies ``flat[offsets[s]:offsets[s+1]]``.
+    flat_of:
+        ``int64[dim]`` mapping coordinate → flat position, or ``None`` for
+        the identity layout (range sharding).
+    scheme:
+        ``"range"`` or ``"coloring"`` (used by reports/info dicts).
+    """
+
+    dim: int
+    shard_of: np.ndarray
+    offsets: np.ndarray
+    flat_of: Optional[np.ndarray] = None
+    scheme: str = "range"
+
+    def __post_init__(self) -> None:
+        self.shard_of = np.ascontiguousarray(self.shard_of, dtype=np.int64)
+        self.offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        if self.flat_of is not None:
+            self.flat_of = np.ascontiguousarray(self.flat_of, dtype=np.int64)
+            if self.flat_of.shape != (self.dim,):
+                raise ValueError("flat_of must have one entry per coordinate")
+        if self.shard_of.shape != (self.dim,):
+            raise ValueError("shard_of must have one entry per coordinate")
+        if self.offsets[0] != 0 or self.offsets[-1] != self.dim:
+            raise ValueError("offsets must span [0, dim]")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Number of coordinate shards."""
+        return int(self.offsets.size - 1)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Coordinates per shard."""
+        return np.diff(self.offsets)
+
+    def to_flat(self, coords: np.ndarray) -> np.ndarray:
+        """Map global coordinate indices into the flat (sharded) layout."""
+        if self.flat_of is None:
+            return coords
+        return self.flat_of[coords]
+
+    def unflatten(self, flat_values: np.ndarray) -> np.ndarray:
+        """Re-order a flat-layout vector back into global coordinate order."""
+        if self.flat_of is None:
+            return flat_values.copy()
+        return flat_values[self.flat_of]
+
+    def flatten_vector(self, values: np.ndarray) -> np.ndarray:
+        """Re-order a global-layout vector into the flat (sharded) layout."""
+        if self.flat_of is None:
+            return np.ascontiguousarray(values, dtype=np.float64).copy()
+        out = np.empty(self.dim, dtype=np.float64)
+        out[self.flat_of] = values
+        return out
+
+    def shard_entry_counts(self, coords: np.ndarray) -> np.ndarray:
+        """How many of ``coords`` (repeats allowed) fall in each shard."""
+        if coords.size == 0:
+            return np.zeros(self.num_shards, dtype=np.int64)
+        return np.bincount(self.shard_of[coords], minlength=self.num_shards)
+
+    def max_shard_fraction(self) -> float:
+        """Largest shard's share of the coordinates (layout imbalance)."""
+        if self.dim == 0:
+            return 0.0
+        return float(self.shard_sizes().max()) / float(self.dim)
+
+
+def range_shard_plan(dim: int, num_shards: int) -> ShardPlan:
+    """Equal contiguous coordinate ranges (identity flat layout)."""
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    num_shards = min(num_shards, dim)
+    offsets = np.linspace(0, dim, num_shards + 1).astype(np.int64)
+    shard_of = np.repeat(np.arange(num_shards, dtype=np.int64), np.diff(offsets))
+    return ShardPlan(dim=dim, shard_of=shard_of, offsets=offsets, flat_of=None, scheme="range")
+
+
+def feature_coloring(X: CSRMatrix, *, max_features: int = 2000) -> Dict[int, int]:
+    """Greedy colouring of the *feature* conflict graph of ``X``.
+
+    Two features conflict when they co-occur in at least one sample, i.e.
+    one index-compressed update writes both.  The colouring is computed by
+    :func:`repro.graph.coloring.greedy_conflict_coloring` on the transposed
+    matrix — rows of ``X.T`` are features and two rows of ``X.T`` share a
+    column exactly when the features co-occur in a sample of ``X``.
+
+    The exact conflict graph is quadratic in the worst case, so for more
+    than ``max_features`` features only the ``max_features`` *hottest*
+    (highest column occupancy — the coordinates that cause nearly all
+    lock-free conflicts) are coloured exactly; the remaining cold features
+    are absent from the returned mapping and the planner places them
+    best-effort.
+    """
+    from repro.graph.coloring import greedy_conflict_coloring
+
+    Xt = X.transpose()
+    if X.n_cols <= max_features:
+        return greedy_conflict_coloring(Xt, max_rows=max_features)
+
+    # Restrict the graph to the hottest features: rows of X.T gathered into
+    # a smaller feature-by-sample matrix (O(nnz), never quadratic).
+    occupancy = X.column_nnz()
+    hot = np.sort(np.argsort(occupancy, kind="stable")[-max_features:])
+    idx, val, lengths = Xt.gather_rows(hot)
+    indptr = np.zeros(hot.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    hot_matrix = CSRMatrix(data=val, indices=idx, indptr=indptr, n_cols=Xt.n_cols)
+    sub_coloring = greedy_conflict_coloring(hot_matrix, max_rows=max_features)
+    return {int(hot[row]): color for row, color in sub_coloring.items()}
+
+
+def coloring_shard_plan(
+    X: CSRMatrix,
+    num_shards: int,
+    *,
+    max_features: int = 2000,
+) -> ShardPlan:
+    """Conflict-aware shard plan from the feature-conflict-graph colouring.
+
+    Colour classes never contain two conflicting coordinates, so they are
+    the safe units of placement: when ``num_shards >= num_colors`` every
+    colour class gets its own shard (large classes are further *split* —
+    splitting a class is always safe — until all shards are used), which
+    guarantees that any two conflicting coordinates live in distinct
+    shards.  The guarantee degrades to best-effort in two documented
+    cases: when the graph needs more colours than there are shards
+    (classes are folded round-robin), and for coordinates beyond the
+    ``max_features`` hottest on very wide problems (only the hot
+    sub-graph is coloured exactly — see :func:`feature_coloring`; cold
+    coordinates are spread round-robin for balance).
+    """
+    d = X.n_cols
+    if d <= 0:
+        raise ValueError("X must have at least one column")
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    num_shards = min(num_shards, d)
+    coloring = feature_coloring(X, max_features=max_features)
+    colors = np.full(d, -1, dtype=np.int64)
+    for coord, color in coloring.items():
+        colors[coord] = color
+    num_colors = int(colors.max()) + 1 if coloring else 0
+
+    # Group the coloured coordinates by colour (ascending coordinate order
+    # within each class keeps the plan deterministic).
+    groups: List[np.ndarray] = [np.nonzero(colors == c)[0] for c in range(num_colors)]
+    groups = [g for g in groups if g.size]
+    if not groups:
+        return range_shard_plan(d, num_shards)
+
+    # Cold coordinates (beyond max_features, see feature_coloring) carry no
+    # exactness guarantee; spread them round-robin for balance.
+    cold = np.nonzero(colors < 0)[0]
+    if cold.size:
+        extras: List[List[int]] = [[] for _ in groups]
+        for k, coord in enumerate(cold):
+            extras[k % len(groups)].append(int(coord))
+        groups = [
+            np.sort(np.concatenate([g, np.asarray(e, dtype=np.int64)])) if e else g
+            for g, e in zip(groups, extras)
+        ]
+
+    if len(groups) <= num_shards:
+        # Each colour class is its own shard; split the largest classes in
+        # half until every shard is used (same-colour coordinates never
+        # conflict, so splitting preserves the separation guarantee).
+        while len(groups) < num_shards:
+            largest = max(range(len(groups)), key=lambda k: groups[k].size)
+            g = groups[largest]
+            if g.size < 2:
+                break
+            half = g.size // 2
+            groups[largest] = g[:half]
+            groups.append(g[half:])
+    else:
+        # More colours than shards: fold classes round-robin (best effort).
+        folded: List[List[np.ndarray]] = [[] for _ in range(num_shards)]
+        for k, g in enumerate(sorted(groups, key=lambda g: -g.size)):
+            folded[k % num_shards].append(g)
+        groups = [np.sort(np.concatenate(parts)) for parts in folded if parts]
+
+    sizes = np.array([g.size for g in groups], dtype=np.int64)
+    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    shard_of = np.empty(d, dtype=np.int64)
+    flat_of = np.empty(d, dtype=np.int64)
+    for s, g in enumerate(groups):
+        shard_of[g] = s
+        flat_of[g] = np.arange(offsets[s], offsets[s + 1], dtype=np.int64)
+    return ShardPlan(dim=d, shard_of=shard_of, offsets=offsets, flat_of=flat_of, scheme="coloring")
+
+
+def make_shard_plan(
+    scheme: str,
+    dim: int,
+    num_shards: int,
+    *,
+    X: Optional[CSRMatrix] = None,
+    max_features: int = 2000,
+) -> ShardPlan:
+    """Factory: ``"range"`` (default layout) or ``"coloring"`` (needs ``X``)."""
+    scheme = scheme.lower()
+    if scheme == "range":
+        return range_shard_plan(dim, num_shards)
+    if scheme == "coloring":
+        if X is None:
+            raise ValueError("coloring sharding requires the design matrix X")
+        return coloring_shard_plan(X, num_shards, max_features=max_features)
+    raise ValueError(f"unknown shard scheme {scheme!r}; available: range, coloring")
+
+
+__all__ = [
+    "ShardPlan",
+    "range_shard_plan",
+    "coloring_shard_plan",
+    "feature_coloring",
+    "make_shard_plan",
+]

@@ -1,0 +1,235 @@
+"""The process worker of the parameter-server cluster.
+
+Each worker is a real OS process (no GIL sharing with its peers).  It owns
+one shard of the *samples* (a :class:`repro.core.partition.WorkerShard`,
+exactly as in the simulated engines) and executes its per-epoch sample
+sequence in macro-blocks through the kernel batch primitives:
+
+1. ``CSRMatrix.gather_rows`` — one gather of the block's rows from the
+   shared (read-only) dataset arrays;
+2. ``KernelBackend.segment_margins`` — all block margins against the live
+   shared parameter buffer (other workers keep writing underneath: these
+   reads are genuinely stale, not simulated-stale);
+3. the solver rule's batched coefficients (``Objective.batch_grad_coeffs``);
+4. ``KernelBackend.scatter_add`` — one lock-free index-compressed write of
+   the whole block into the sharded parameter buffer (``np.add.at`` over
+   shared memory: last-writer-wins per coordinate, the Hogwild semantics).
+
+Around the arithmetic the worker measures what the simulator *models*: the
+update lag between its read and its write (the perturbed-iterate delay τ),
+which coordinates were overwritten by other workers in that window
+(conflicts), and how its writes spread over the coordinate shards
+(occupancy).  The driver folds those counters into the same
+:class:`~repro.async_engine.events.EpochEvent` records the simulator
+emits, so measured and simulated traces are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.shm import ArenaSpec, ShmArena
+from repro.core.sampler import SampleSequence
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import segment_bool_any
+from repro.utils.rng import as_rng
+
+# Column layout of the per-worker counter rows (int64, one row per worker;
+# a worker only ever writes its own row, so no cross-process races).
+COL_ITERATIONS = 0
+COL_SPARSE_WRITES = 1
+COL_CONFLICTS = 2
+COL_STALE_READS = 3
+COL_DELAY_SUM = 4
+COL_MAX_DELAY = 5
+COL_DENSE_WRITES = 6
+COL_SAMPLE_DRAWS = 7
+COL_BLOCKS = 8
+NUM_COUNTER_COLS = 9
+
+#: Barrier wait timeout (seconds); a worker crash aborts the barrier long
+#: before this, the timeout only guards against silent hangs.
+BARRIER_TIMEOUT = 300.0
+
+
+@dataclass
+class WorkerTask:
+    """Everything one process worker needs (fully picklable).
+
+    The heavy state (dataset, parameter shards, counters) is *not* in here
+    — workers attach to it through ``arena``; the task carries only the
+    worker's own sample shard and scalar configuration.
+    """
+
+    worker_id: int
+    num_workers: int
+    arena: ArenaSpec
+    rows: np.ndarray                    # global row indices of the sample shard
+    probabilities: np.ndarray           # local sampling distribution over rows
+    step_weights: np.ndarray            # per-local-sample re-weighting 1/(n_a p_i), clipped
+    iterations_per_epoch: int
+    epochs: int
+    step_size: float
+    objective: object                   # repro Objective (picklable)
+    rule: str = "sgd"                   # "sgd" | "svrg"
+    skip_dense_term: bool = False
+    count_sample_draws: bool = True
+    batch_size: int = 256
+    seed: int = 0
+    kernel_name: Optional[str] = None
+    has_flat_of: bool = False
+    dim: int = 0
+
+
+def run_worker(task: WorkerTask, barrier) -> None:
+    """Process entry point: run ``task.epochs`` epochs against the arena.
+
+    The protocol is two barrier waits per epoch: the first releases the
+    epoch (the driver has finished its preparation — e.g. SVRG's µ), the
+    second ends it (the driver may now snapshot weights and read counters).
+    Any exception aborts the barrier so neither side dead-waits.
+    """
+    import threading
+
+    from repro.kernels.registry import resolve_backend
+    from repro.objectives.regularizers import NoRegularizer
+
+    arena = ShmArena.attach(task.arena)
+    try:
+        _worker_loop(task, barrier, arena, resolve_backend(task.kernel_name), NoRegularizer)
+    except threading.BrokenBarrierError:
+        pass
+    except BaseException:
+        try:
+            arena["errors"][task.worker_id] = 1
+        except Exception:
+            pass
+        barrier.abort()
+        raise
+    finally:
+        arena.close()
+
+
+def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls) -> None:
+    wid = task.worker_id
+    w = arena["weights"]                       # flat (sharded) layout, float64[dim]
+    X = CSRMatrix(
+        data=arena["x_data"],
+        indices=arena["x_indices"],
+        indptr=arena["x_indptr"],
+        n_cols=task.dim,
+    )
+    y = arena["y"]
+    flat_of = arena["flat_of"] if task.has_flat_of else None
+    shard_of = arena["shard_of"]
+    counters = arena["counters"]
+    shard_writes = arena["shard_writes"]
+    progress = arena["progress"]
+    last_writer = arena["last_writer"]
+    write_clock = arena["write_clock"]
+    num_shards = shard_writes.shape[1]
+
+    obj = task.objective
+    lam = float(task.step_size)
+    reg = getattr(obj, "regularizer", None)
+    use_reg = reg is not None and not isinstance(reg, no_reg_cls)
+    rng = as_rng(task.seed)
+    block = max(1, int(task.batch_size))
+    is_svrg = task.rule == "svrg"
+    mu_flat = arena["mu"] if is_svrg else None
+    snap_margins = arena["snap_margins"] if is_svrg else None
+    d = task.dim
+
+    for _epoch in range(task.epochs):
+        epoch_seed = int(rng.integers(0, 2**31 - 1))
+        barrier.wait(timeout=BARRIER_TIMEOUT)    # --- epoch start
+        sequence = SampleSequence.generate(
+            task.probabilities, task.iterations_per_epoch, seed=epoch_seed
+        ).indices
+        dense_step = None
+        if is_svrg and not task.skip_dense_term:
+            dense_step = -lam * mu_flat.copy()
+
+        for start in range(0, sequence.size, block):
+            local = sequence[start : start + block]
+            n_iter = int(local.size)
+            rows = task.rows[local]
+            step_w = task.step_weights[local]
+
+            # Read side: logical clock before the stale read.
+            t_read = int(progress.sum())
+            idx, val, lengths = X.gather_rows(rows)
+            fidx = flat_of[idx] if flat_of is not None else idx
+            margins = kernel.segment_margins(fidx, val, lengths, w)
+            y_rows = y[rows]
+
+            if is_svrg:
+                coef_w = obj.batch_grad_coeffs(margins, y_rows)
+                coef_s = obj.batch_grad_coeffs(snap_margins[rows], y_rows)
+                entry = -lam * np.repeat(step_w * (coef_w - coef_s), lengths) * val
+            else:
+                coeffs = obj.batch_grad_coeffs(margins, y_rows)
+                entry = np.repeat(step_w * coeffs, lengths) * val
+                if use_reg and fidx.size:
+                    entry = entry + np.repeat(step_w, lengths) * reg.grad_coords(w, fidx)
+                entry = -lam * entry
+
+            # Write side: what landed from other workers while we computed?
+            t_write = int(progress.sum())
+            delay = t_write - t_read
+            if fidx.size:
+                foreign = (
+                    (last_writer[fidx] != wid)
+                    & (last_writer[fidx] >= 0)
+                    & (write_clock[fidx] > t_read)
+                )
+                conflicts = int(np.count_nonzero(segment_bool_any(foreign, lengths)))
+            else:
+                conflicts = 0
+
+            if dense_step is not None:
+                w += n_iter * dense_step
+            kernel.scatter_add(w, fidx, entry)
+            if fidx.size:
+                write_clock[fidx] = t_write
+                last_writer[fidx] = wid
+                # shard_of is indexed by *global* coordinate, not flat position.
+                shard_writes[wid] += np.bincount(shard_of[idx], minlength=num_shards)
+            progress[wid] += n_iter
+
+            row_c = counters[wid]
+            row_c[COL_ITERATIONS] += n_iter
+            row_c[COL_SPARSE_WRITES] += (2 if is_svrg else 1) * int(lengths.sum())
+            row_c[COL_CONFLICTS] += conflicts
+            row_c[COL_DELAY_SUM] += delay * n_iter
+            row_c[COL_BLOCKS] += 1
+            if delay > 0:
+                row_c[COL_STALE_READS] += n_iter
+                if delay > row_c[COL_MAX_DELAY]:
+                    row_c[COL_MAX_DELAY] = delay
+            if dense_step is not None:
+                row_c[COL_DENSE_WRITES] += n_iter * d
+            if task.count_sample_draws:
+                row_c[COL_SAMPLE_DRAWS] += n_iter
+
+        barrier.wait(timeout=BARRIER_TIMEOUT)    # --- epoch end
+
+
+__all__ = [
+    "WorkerTask",
+    "run_worker",
+    "NUM_COUNTER_COLS",
+    "COL_ITERATIONS",
+    "COL_SPARSE_WRITES",
+    "COL_CONFLICTS",
+    "COL_STALE_READS",
+    "COL_DELAY_SUM",
+    "COL_MAX_DELAY",
+    "COL_DENSE_WRITES",
+    "COL_SAMPLE_DRAWS",
+    "COL_BLOCKS",
+    "BARRIER_TIMEOUT",
+]

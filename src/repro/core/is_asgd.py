@@ -53,13 +53,20 @@ class ISASGDSolver(BaseSolver):
         Optional override of the delay model (defaults to
         ``UniformDelay(config.effective_max_delay)``).
     backend:
-        ``"simulated"`` (default) or ``"threads"``.
+        ``"simulated"`` (default) or ``"threads"`` (backward-compatible
+        alias for ``async_mode="threads"``).
     async_mode:
-        Execution engine for the simulated backend: ``"per_sample"`` (ground
-        truth) or ``"batched"`` (macro-step fast path through the kernel
-        layer); ``None`` resolves via ``REPRO_ASYNC_MODE``.
+        Execution engine: ``"per_sample"`` (simulated ground truth),
+        ``"batched"`` (simulated macro-step fast path), ``"threads"``
+        (real lock-free threads, GIL-bound) or ``"process"`` (true
+        multi-process sharded parameter server with measured wall-clock —
+        see :mod:`repro.cluster`); ``None`` resolves via
+        ``REPRO_ASYNC_MODE``.
     batch_size:
-        Macro-step length for the batched engine (``"auto"`` by default).
+        Macro-step length for the batched/process engines (``"auto"`` by
+        default).
+    shard_scheme / num_shards:
+        Parameter-shard layout for ``async_mode="process"``.
     """
 
     name = "is_asgd"
@@ -74,6 +81,8 @@ class ISASGDSolver(BaseSolver):
         kernel=None,
         async_mode: Optional[str] = None,
         batch_size="auto",
+        shard_scheme: str = "range",
+        num_shards: Optional[int] = None,
         **config_overrides,
     ) -> None:
         if config is None:
@@ -93,8 +102,18 @@ class ISASGDSolver(BaseSolver):
         self.config = config
         self.staleness = staleness
         self.backend = backend
+        if backend == "threads":
+            # Backward-compatible alias; an explicit conflicting async_mode
+            # is a caller error, not something to override silently.
+            if async_mode not in (None, "threads"):
+                raise ValueError(
+                    f"backend='threads' conflicts with async_mode={async_mode!r}"
+                )
+            async_mode = "threads"
         self.async_mode = resolve_async_mode(async_mode)
         self.batch_size = batch_size
+        self.shard_scheme = shard_scheme
+        self.num_shards = num_shards
 
     @property
     def parallel_workers(self) -> int:
@@ -129,8 +148,10 @@ class ISASGDSolver(BaseSolver):
         cfg = self.config
         partition, balancing = self.prepare_partition(problem, rng)
 
-        if self.backend == "threads":
+        if self.async_mode == "threads":
             return self._fit_threads(problem, partition, balancing, rng, initial_weights)
+        if self.async_mode == "process":
+            return self._fit_process(problem, partition, balancing, rng, initial_weights)
 
         iterations_per_worker = max(1, problem.n_samples // cfg.num_workers)
         workers = build_workers(
@@ -186,6 +207,22 @@ class ISASGDSolver(BaseSolver):
         )
 
     # ------------------------------------------------------------------ #
+    def _fit_process(self, problem: Problem, partition, balancing, rng, initial_weights) -> TrainResult:
+        """Algorithm 4 on the true multi-process parameter-server tier."""
+        cfg = self.config
+        return self._run_cluster(
+            problem,
+            partition,
+            rule="sgd",
+            seed=int(rng.integers(0, 2**31 - 1)),
+            include_sampling=True,
+            importance_sampling=cfg.importance is ImportanceScheme.LIPSCHITZ,
+            step_clip=cfg.step_clip,
+            extra_info=self._info(problem, partition, balancing),
+            initial_weights=initial_weights,
+        )
+
+    # ------------------------------------------------------------------ #
     def _fit_threads(self, problem: Problem, partition, balancing, rng, initial_weights) -> TrainResult:
         from repro.async_engine.events import EpochEvent, ExecutionTrace
         from repro.async_engine.threads import HogwildThreadPool
@@ -221,6 +258,7 @@ class ISASGDSolver(BaseSolver):
         pool.run(cfg.epochs, iterations_per_worker, epoch_callback=callback)
         info = self._info(problem, partition, balancing)
         info["backend"] = "threads"
+        info["async_mode"] = "threads"
         return self._finalize(problem, weights_by_epoch, trace, include_sampling=True, info=info)
 
     # ------------------------------------------------------------------ #

@@ -134,6 +134,59 @@ def figure_config(
     )
 
 
+def cluster_scaling_config(
+    *,
+    dataset: str = "news20_smoke",
+    solver: str = "is_asgd",
+    worker_counts: Sequence[int] = (1, 2, 4),
+    epochs_override: Optional[int] = None,
+    include_simulated: bool = True,
+    shard_scheme: str = "range",
+    seed: int = 0,
+) -> ExperimentConfig:
+    """True speedup-vs-workers sweep on the multi-process cluster tier.
+
+    Every concurrency level runs through ``async_mode="process"`` (real
+    processes, *measured* wall-clock) and — when ``include_simulated`` —
+    through the per-sample simulator as well, so the measured scaling curve
+    can be plotted alongside the modelled one.  Records are distinguished
+    by ``info["async_mode"]``.
+    """
+    desc = get_descriptor(dataset)
+    epochs = epochs_override or desc.epochs
+    runs: List[RunSpec] = []
+    for workers in worker_counts:
+        runs.append(
+            RunSpec(
+                dataset=dataset,
+                solver=solver,
+                num_workers=workers,
+                step_size=desc.step_size,
+                epochs=epochs,
+                seed=seed,
+                solver_kwargs=(("async_mode", "process"), ("shard_scheme", shard_scheme)),
+            )
+        )
+        if include_simulated:
+            runs.append(
+                RunSpec(
+                    dataset=dataset,
+                    solver=solver,
+                    num_workers=workers,
+                    step_size=desc.step_size,
+                    epochs=epochs,
+                    seed=seed,
+                    solver_kwargs=(("async_mode", "per_sample"),),
+                )
+            )
+    return ExperimentConfig(
+        name="cluster_scaling",
+        runs=runs,
+        seed=seed,
+        description="Measured (process) vs simulated speedup over worker counts.",
+    )
+
+
 def table1_config(*, smoke: bool = False, seed: int = 0) -> ExperimentConfig:
     """The dataset-statistics 'sweep' behind Table 1 (no training involved)."""
     names = list_datasets()
@@ -184,6 +237,7 @@ __all__ = [
     "RunSpec",
     "ExperimentConfig",
     "figure_config",
+    "cluster_scaling_config",
     "table1_config",
     "balancing_ablation_config",
 ]

@@ -109,17 +109,22 @@ class ASGDSolver(BaseSolver):
         Delay model; defaults to ``UniformDelay(num_workers)``, matching the
         assumption that the maximum delay is proportional to concurrency.
     backend:
-        ``"simulated"`` (default) runs the perturbed-iterate simulator;
-        ``"threads"`` runs the real lock-free threading backend (functional
-        validation only — the GIL prevents real speedup).
+        ``"simulated"`` (default) runs the engine selected by
+        ``async_mode``; ``"threads"`` is a backward-compatible alias for
+        ``async_mode="threads"``.
     async_mode:
-        Execution engine for the simulated backend: ``"per_sample"`` (ground
-        truth) or ``"batched"`` (macro-step fast path through the kernel
-        layer); ``None`` resolves via :mod:`repro.async_engine.modes`
-        (``REPRO_ASYNC_MODE``).
+        Execution engine: ``"per_sample"`` (simulated ground truth),
+        ``"batched"`` (simulated macro-step fast path through the kernel
+        layer), ``"threads"`` (real lock-free threads, GIL-bound) or
+        ``"process"`` (true multi-process sharded parameter server with
+        measured wall-clock — see :mod:`repro.cluster`); ``None`` resolves
+        via :mod:`repro.async_engine.modes` (``REPRO_ASYNC_MODE``).
     batch_size:
-        Macro-step length for the batched engine (``"auto"`` scales with
-        ``num_workers * (max_delay + 1)``).
+        Macro-step length for the batched/process engines (``"auto"``
+        scales with the engine's own heuristic).
+    shard_scheme / num_shards:
+        Parameter-shard layout for ``async_mode="process"`` (``"range"``
+        or ``"coloring"``; shards default to the worker count).
     """
 
     name = "asgd"
@@ -138,6 +143,8 @@ class ASGDSolver(BaseSolver):
         kernel=None,
         async_mode: Optional[str] = None,
         batch_size="auto",
+        shard_scheme: str = "range",
+        num_shards: Optional[int] = None,
     ) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
                          cost_model=cost_model, record_every=record_every, kernel=kernel)
@@ -148,8 +155,18 @@ class ASGDSolver(BaseSolver):
         self.num_workers = int(num_workers)
         self.staleness = staleness
         self.backend = backend
+        if backend == "threads":
+            # Backward-compatible alias; an explicit conflicting async_mode
+            # is a caller error, not something to override silently.
+            if async_mode not in (None, "threads"):
+                raise ValueError(
+                    f"backend='threads' conflicts with async_mode={async_mode!r}"
+                )
+            async_mode = "threads"
         self.async_mode = resolve_async_mode(async_mode)
         self.batch_size = batch_size
+        self.shard_scheme = shard_scheme
+        self.num_shards = num_shards
 
     @property
     def parallel_workers(self) -> int:
@@ -165,9 +182,23 @@ class ASGDSolver(BaseSolver):
     def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
         """Run asynchronous SGD on ``problem``."""
         rng = as_rng(self.seed)
-        if self.backend == "threads":
+        if self.async_mode == "threads":
             return self._fit_threads(problem, rng, initial_weights)
+        if self.async_mode == "process":
+            return self._fit_process(problem, rng, initial_weights)
         return self._fit_simulated(problem, rng, initial_weights)
+
+    # ------------------------------------------------------------------ #
+    def _fit_process(self, problem: Problem, rng, initial_weights) -> TrainResult:
+        partition = self._build_partition(problem, rng)
+        return self._run_cluster(
+            problem,
+            partition,
+            rule="sgd",
+            seed=int(rng.integers(0, 2**31 - 1)),
+            include_sampling=False,
+            initial_weights=initial_weights,
+        )
 
     # ------------------------------------------------------------------ #
     def _fit_simulated(self, problem: Problem, rng, initial_weights) -> TrainResult:
@@ -254,7 +285,7 @@ class ASGDSolver(BaseSolver):
             weights_by_epoch.append(weights)
 
         pool.run(self.epochs, iterations_per_worker, epoch_callback=callback)
-        info = {"backend": "threads", "num_workers": self.num_workers}
+        info = {"backend": "threads", "async_mode": "threads", "num_workers": self.num_workers}
         return self._finalize(problem, weights_by_epoch, trace, include_sampling=False, info=info)
 
 

@@ -183,18 +183,26 @@ class BaseSolver(ABC):
         label: Optional[str] = None,
         info: Optional[Dict[str, Any]] = None,
         include_sampling: bool = True,
+        wall_clock: Optional[np.ndarray] = None,
     ) -> TrainResult:
         """Turn epoch snapshots + trace into a :class:`TrainResult`.
 
         Evaluates the metrics for every recorded epoch and prices the trace
-        with the cost model.
+        with the cost model — unless ``wall_clock`` (cumulative seconds per
+        epoch) is supplied, in which case the curve carries that *measured*
+        time axis instead (the process-cluster backend's case).
         """
         recorder = problem.recorder(
             label=label or f"{self.name}[{problem.name}]", kernel=self.kernel
         )
-        wall = self.cost_model.trace_wall_clock(
-            trace, self.parallel_workers, include_sampling=include_sampling
-        )
+        if wall_clock is not None:
+            wall = np.ascontiguousarray(wall_clock, dtype=np.float64)
+            if wall.shape[0] != len(trace.epochs):
+                raise ValueError("wall_clock must have one entry per traced epoch")
+        else:
+            wall = self.cost_model.trace_wall_clock(
+                trace, self.parallel_workers, include_sampling=include_sampling
+            )
         iterations = np.cumsum([e.iterations for e in trace.epochs])
         for k, weights in enumerate(weights_by_epoch):
             epoch = trace.epochs[k].epoch
@@ -213,6 +221,65 @@ class BaseSolver(ABC):
             curve=recorder.curve,
             trace=trace,
             info=dict(info or {}),
+        )
+
+    def _run_cluster(
+        self,
+        problem: Problem,
+        partition,
+        *,
+        rule: str,
+        seed: int,
+        include_sampling: bool,
+        importance_sampling: bool = False,
+        step_clip: float = 100.0,
+        skip_dense_term: bool = False,
+        count_sample_draws: Optional[bool] = None,
+        extra_info: Optional[Dict[str, Any]] = None,
+        initial_weights: Optional[np.ndarray] = None,
+    ) -> TrainResult:
+        """Run ``async_mode="process"`` through the cluster tier.
+
+        Shared by the asynchronous solvers: builds the
+        :class:`~repro.cluster.ClusterDriver` from the solver's shard/batch
+        configuration, runs it, and finalises with the *measured*
+        wall-clock axis.  ``extra_info`` carries solver-specific
+        diagnostics into the result's info dict.  Callers must define
+        ``shard_scheme`` / ``num_shards`` / ``batch_size`` (all async
+        solvers do); a solver without them fails loudly rather than
+        silently running with defaults.
+        """
+        from repro.cluster import ClusterDriver
+
+        driver = ClusterDriver(
+            problem.X,
+            problem.y,
+            problem.objective,
+            partition,
+            step_size=self.step_size,
+            importance_sampling=importance_sampling,
+            step_clip=step_clip,
+            rule=rule,
+            skip_dense_term=skip_dense_term,
+            count_sample_draws=count_sample_draws,
+            shard_scheme=self.shard_scheme,
+            num_shards=self.num_shards,
+            batch_size=self.batch_size,
+            kernel_name=self.kernel.name,
+            seed=seed,
+        )
+        run = driver.run(self.epochs, initial_weights=initial_weights)
+        info = dict(extra_info or {})
+        info["async_mode"] = "process"
+        info["conflict_rate"] = run.trace.conflict_rate()
+        info.update(run.info)
+        return self._finalize(
+            problem,
+            run.epoch_weights or [run.weights],
+            run.trace,
+            include_sampling=include_sampling,
+            info=info,
+            wall_clock=run.wall_clock,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -109,6 +109,8 @@ class SVRGASGDSolver(BaseSolver):
         kernel=None,
         async_mode: Optional[str] = None,
         batch_size="auto",
+        shard_scheme: str = "range",
+        num_shards: Optional[int] = None,
     ) -> None:
         super().__init__(step_size=step_size, epochs=epochs, seed=seed,
                          cost_model=cost_model, record_every=record_every, kernel=kernel)
@@ -119,6 +121,8 @@ class SVRGASGDSolver(BaseSolver):
         self.skip_dense_term = bool(skip_dense_term)
         self.async_mode = resolve_async_mode(async_mode)
         self.batch_size = batch_size
+        self.shard_scheme = shard_scheme
+        self.num_shards = num_shards
 
     @property
     def parallel_workers(self) -> int:
@@ -140,6 +144,10 @@ class SVRGASGDSolver(BaseSolver):
         order = random_order(n, seed=rng)
         partition = partition_dataset(order, problem.lipschitz_constants(), self.num_workers,
                                       scheme="uniform")
+        if self.async_mode == "process":
+            return self._fit_process(problem, partition, rng, initial_weights)
+        if self.async_mode == "threads":
+            return self._fit_threads(problem, partition, rng, initial_weights)
         iterations_per_worker = max(1, n // self.num_workers)
         workers = build_workers(partition, iterations_per_worker,
                                 seed=int(rng.integers(0, 2**31 - 1)),
@@ -179,8 +187,10 @@ class SVRGASGDSolver(BaseSolver):
                 global_row, _local, _weight = worker.next_sample()
                 x_idx, x_val = X.row(global_row)
                 delay = staleness.draw(rng)
+                overflow_before = model.history_overflow
                 stale_coords, conflicts = model.read_stale(x_idx, delay,
                                                            writer_id=worker.worker_id)
+                overflowed = model.history_overflow - overflow_before
                 margin_w = float(np.dot(x_val, stale_coords)) if x_idx.size else 0.0
                 margin_s = float(np.dot(x_val, snapshot[x_idx])) if x_idx.size else 0.0
                 coef_w = obj._loss_derivative(margin_w, float(y[global_row]))
@@ -201,6 +211,7 @@ class SVRGASGDSolver(BaseSolver):
                     conflicts=conflicts,
                     delay=delay,
                     drew_sample=False,
+                    history_overflow=overflowed,
                 )
 
             if self.skip_dense_term:
@@ -218,6 +229,105 @@ class SVRGASGDSolver(BaseSolver):
             "skip_dense_term": self.skip_dense_term,
             "async_mode": "per_sample",
             "conflict_rate": trace.conflict_rate(),
+        }
+        return self._finalize(problem, weights_by_epoch, trace, include_sampling=False, info=info)
+
+    # ------------------------------------------------------------------ #
+    def _fit_process(self, problem: Problem, partition, rng, initial_weights) -> TrainResult:
+        """Algorithm 1 on the true multi-process parameter-server tier."""
+        return self._run_cluster(
+            problem,
+            partition,
+            rule="svrg",
+            seed=int(rng.integers(0, 2**31 - 1)),
+            include_sampling=False,
+            skip_dense_term=self.skip_dense_term,
+            count_sample_draws=False,
+            extra_info={"skip_dense_term": self.skip_dense_term},
+            initial_weights=initial_weights,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _fit_threads(self, problem: Problem, partition, rng, initial_weights) -> TrainResult:
+        """Real lock-free threaded execution of Algorithm 1.
+
+        Genuine unsynchronised updates over one shared NumPy buffer, as in
+        :mod:`repro.async_engine.threads` — functional validation (the GIL
+        serialises the byte-code); the per-epoch sync step (snapshot + µ)
+        happens on the driver thread between epochs.
+        """
+        import threading
+
+        from repro.utils.rng import spawn_rngs
+
+        X, y, obj = problem.X, problem.y, problem.objective
+        n, d = problem.n_samples, problem.n_features
+        lam = self.step_size
+        w = np.zeros(d) if initial_weights is None else np.ascontiguousarray(
+            initial_weights, dtype=np.float64).copy()
+        # partition_dataset caps the shard count at n_samples; size the
+        # thread pool (and the barrier!) from the partition, not the
+        # requested worker count.
+        num_threads = partition.num_workers
+        iterations_per_worker = max(1, n // num_threads)
+        trace = ExecutionTrace()
+        weights_by_epoch = []
+        avg_nnz = X.nnz / max(n, 1)
+
+        def worker_loop(w, rows, sequence, snap_margins, dense_step, barrier):
+            barrier.wait()
+            for local in sequence:
+                row = int(rows[local])
+                x_idx, x_val = X.row(row)
+                margin_w = float(np.dot(x_val, w[x_idx])) if x_idx.size else 0.0
+                coef_w = obj._loss_derivative(margin_w, float(y[row]))
+                coef_s = obj._loss_derivative(float(snap_margins[row]), float(y[row]))
+                if dense_step is not None:
+                    w += dense_step
+                np.add.at(w, x_idx, -lam * (coef_w - coef_s) * x_val)
+
+        for epoch in range(self.epochs):
+            event = EpochEvent(epoch=epoch)
+            snapshot = w.copy()
+            mu = obj.full_gradient(snapshot, X, y)
+            snap_margins = X.dot(snapshot)
+            dense_step = None if self.skip_dense_term else -lam * mu
+            event.merge_bulk(iterations=1, grad_nnz=X.nnz, dense_coords=d)
+
+            rngs = spawn_rngs(int(rng.integers(0, 2**31 - 1)), num_threads)
+            barrier = threading.Barrier(num_threads)
+            threads = []
+            for shard, worker_rng in zip(partition.shards, rngs):
+                sequence = worker_rng.integers(0, shard.size, size=iterations_per_worker)
+                threads.append(
+                    threading.Thread(
+                        target=worker_loop,
+                        args=(w, shard.row_indices, sequence, snap_margins, dense_step, barrier),
+                        daemon=True,
+                    )
+                )
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            total_inner = iterations_per_worker * num_threads
+            if self.skip_dense_term:
+                w += (-lam * mu) * total_inner
+                event.merge_bulk(iterations=1, grad_nnz=0, dense_coords=d)
+            event.merge_bulk(
+                iterations=total_inner,
+                grad_nnz=int(2 * total_inner * avg_nnz),
+                dense_coords=0 if self.skip_dense_term else total_inner * d,
+            )
+            trace.add_epoch(event)
+            weights_by_epoch.append(w.copy())
+
+        info = {
+            "async_mode": "threads",
+            "backend": "threads",
+            "num_workers": self.num_workers,
+            "skip_dense_term": self.skip_dense_term,
         }
         return self._finalize(problem, weights_by_epoch, trace, include_sampling=False, info=info)
 

@@ -231,6 +231,34 @@ class CSRMatrix:
             out[i, idx] = val
         return out
 
+    def transpose(self) -> "CSRMatrix":
+        """The transpose ``X.T`` as a new canonical :class:`CSRMatrix`.
+
+        Rows of the transpose are the features of ``X``, which lets
+        feature-level tooling (e.g. the conflict graph of
+        :mod:`repro.graph`) reuse the row-oriented machinery unchanged: two
+        features co-occur in a sample of ``X`` iff the corresponding rows of
+        ``X.T`` share a column.
+        """
+        if self.nnz == 0:
+            return CSRMatrix(
+                data=np.zeros(0, dtype=np.float64),
+                indices=np.zeros(0, dtype=np.int64),
+                indptr=np.zeros(self.n_cols + 1, dtype=np.int64),
+                n_cols=self.n_rows,
+            )
+        row_of_entry = np.repeat(np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr))
+        order = np.lexsort((row_of_entry, self.indices))
+        indptr = np.zeros(self.n_cols + 1, dtype=np.int64)
+        counts = np.bincount(self.indices, minlength=self.n_cols)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(
+            data=self.data[order],
+            indices=row_of_entry[order],
+            indptr=indptr,
+            n_cols=self.n_rows,
+        )
+
     # ------------------------------------------------------------------ #
     # Constructors / converters
     # ------------------------------------------------------------------ #

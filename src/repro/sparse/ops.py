@@ -46,6 +46,22 @@ def sparse_norm_sq(values: np.ndarray) -> float:
     return float(np.dot(values, values))
 
 
+def segment_bool_any(mask: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment ``any`` over a flat per-entry boolean array.
+
+    ``mask`` holds one boolean per gathered entry and ``lengths`` the
+    segment (row) sizes, as produced by ``CSRMatrix.gather_rows``; segment
+    ``t`` is True when any of its entries is.  Shared by the batched
+    simulator's conflict replay and the cluster worker's measured conflict
+    detection.
+    """
+    if mask.size == 0:
+        return np.zeros(lengths.size, dtype=bool)
+    starts = np.cumsum(lengths) - lengths
+    padded = np.concatenate([mask.astype(np.int64), [0]])
+    return (lengths > 0) & (np.add.reduceat(padded, starts) > 0)
+
+
 def sparse_squared_norms(data: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     """Per-row squared norms for a CSR layout given its raw arrays."""
     n_rows = indptr.size - 1
@@ -123,6 +139,7 @@ __all__ = [
     "scatter_add",
     "sparse_scale",
     "sparse_norm_sq",
+    "segment_bool_any",
     "sparse_squared_norms",
     "sparse_add",
     "densify",

@@ -281,12 +281,14 @@ class TestBatchedSimulator:
 # --------------------------------------------------------------------- #
 class TestAsyncModeRegistry:
     def test_available_and_default(self):
-        assert available_async_modes() == ["per_sample", "batched"]
+        assert available_async_modes() == ["per_sample", "batched", "threads", "process"]
         assert default_async_mode() == "per_sample"
 
     def test_resolve(self):
         assert resolve_async_mode(None) == "per_sample"
         assert resolve_async_mode("batched") == "batched"
+        assert resolve_async_mode("threads") == "threads"
+        assert resolve_async_mode("process") == "process"
         with pytest.raises(ValueError):
             resolve_async_mode("warp_speed")
 

@@ -1,0 +1,233 @@
+"""End-to-end tests of the multi-process parameter-server cluster.
+
+Acceptance for the subsystem: ``async_mode="process"`` runs asgd /
+is_asgd / svrg_asgd end-to-end on >= 4 true process workers, produces
+traces the metrics/experiments pipeline consumes unchanged, and converges
+to within tolerance of the per-sample simulator on seeded problems.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterDriver, compare_traces
+from repro.core.balancing import random_order
+from repro.core.is_asgd import ISASGDSolver
+from repro.core.partition import partition_dataset
+from repro.datasets.synthetic import SyntheticSpec, make_sparse_classification
+from repro.metrics.speedup import optimum_speedup, time_to_target
+from repro.objectives.logistic import LogisticObjective
+from repro.objectives.regularizers import L2Regularizer
+from repro.solvers.asgd import ASGDSolver
+from repro.solvers.base import Problem
+from repro.solvers.svrg_asgd import SVRGASGDSolver
+
+NUM_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def cluster_problem() -> Problem:
+    spec = SyntheticSpec(
+        n_samples=600, n_features=150, nnz_per_sample=8.0, label_noise=0.02, name="cluster_test"
+    )
+    X, y, _ = make_sparse_classification(spec, seed=7)
+    objective = LogisticObjective(regularizer=L2Regularizer(1e-4))
+    return Problem(X=X, y=y, objective=objective, name=spec.name)
+
+
+def _partition(problem, workers=NUM_WORKERS, scheme="uniform"):
+    L = problem.lipschitz_constants()
+    order = random_order(problem.n_samples, seed=0)
+    return partition_dataset(order, L, workers, scheme=scheme)
+
+
+SOLVER_FACTORIES = {
+    "asgd": lambda mode: ASGDSolver(
+        step_size=0.2, epochs=3, num_workers=NUM_WORKERS, seed=5, async_mode=mode
+    ),
+    "is_asgd": lambda mode: ISASGDSolver(
+        step_size=0.2, epochs=3, num_workers=NUM_WORKERS, seed=5, async_mode=mode
+    ),
+    "svrg_asgd": lambda mode: SVRGASGDSolver(
+        step_size=0.2, epochs=3, num_workers=NUM_WORKERS, seed=5, async_mode=mode
+    ),
+}
+
+
+class TestProcessModeSolvers:
+    @pytest.mark.parametrize("solver_name", sorted(SOLVER_FACTORIES))
+    def test_process_mode_end_to_end_with_tolerance(self, cluster_problem, solver_name):
+        factory = SOLVER_FACTORIES[solver_name]
+        reference = factory("per_sample").fit(cluster_problem)
+        clustered = factory("process").fit(cluster_problem)
+
+        assert clustered.info["backend"] == "process"
+        assert clustered.info["num_workers"] == NUM_WORKERS
+        # Valid measured trace: one event per epoch, real iteration counts.
+        assert len(clustered.trace.epochs) == 3
+        assert clustered.trace.total_iterations >= cluster_problem.n_samples
+        # Measured wall-clock axis is strictly increasing and positive.
+        wall = clustered.curve.wall_clock
+        assert np.all(np.asarray(wall) > 0)
+        assert np.all(np.diff(wall) > 0)
+
+        # Convergence within tolerance of the per-sample simulator.
+        obj, X, y = cluster_problem.objective, cluster_problem.X, cluster_problem.y
+        loss_zero = obj.full_loss(np.zeros(cluster_problem.n_features), X, y)
+        loss_ref = obj.full_loss(reference.weights, X, y)
+        loss_cluster = obj.full_loss(clustered.weights, X, y)
+        progress = loss_zero - loss_ref
+        assert progress > 0
+        assert loss_cluster < loss_zero
+        assert abs(loss_cluster - loss_ref) <= 0.25 * progress
+
+    def test_curves_feed_metrics_speedup(self, cluster_problem):
+        result = ASGDSolver(
+            step_size=0.2, epochs=3, num_workers=NUM_WORKERS, seed=5, async_mode="process"
+        ).fit(cluster_problem)
+        point = optimum_speedup(result.curve, result.curve)
+        assert point.speedup == pytest.approx(1.0)
+        assert time_to_target(result.curve, point.target) is not None
+
+    def test_experiments_runner_accepts_process_mode(self):
+        from repro.experiments.configs import RunSpec
+        from repro.experiments.runner import run_single
+
+        spec = RunSpec(
+            dataset="news20_smoke",
+            solver="is_asgd",
+            num_workers=NUM_WORKERS,
+            step_size=0.3,
+            epochs=2,
+            seed=0,
+            solver_kwargs=(("async_mode", "process"),),
+        )
+        record = run_single(spec)
+        assert record.info["backend"] == "process"
+        assert record.curve.total_time > 0
+        assert len(record.trace.epochs) == 2
+
+
+class TestClusterDriver:
+    def test_initial_weights_respected(self, cluster_problem):
+        part = _partition(cluster_problem)
+        w0 = np.full(cluster_problem.n_features, 0.01)
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+            step_size=1e-12, seed=0,
+        )
+        res = driver.run(1, initial_weights=w0)
+        # A vanishing step leaves the model essentially at w0.
+        np.testing.assert_allclose(res.weights, w0, atol=1e-6)
+
+    def test_coloring_scheme_and_shard_count(self, cluster_problem):
+        part = _partition(cluster_problem)
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+            step_size=0.1, seed=0, shard_scheme="coloring", num_shards=6,
+        )
+        res = driver.run(1)
+        assert res.info["shard_scheme"] == "coloring"
+        assert driver.plan.num_shards <= 6
+        assert res.shard_write_fractions is not None
+        assert res.shard_write_fractions.sum() == pytest.approx(1.0)
+
+    def test_measured_counters_are_populated(self, cluster_problem):
+        part = _partition(cluster_problem)
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+            step_size=0.1, seed=0,
+        )
+        res = driver.run(2)
+        assert len(res.epoch_seconds) == 2
+        assert all(s > 0 for s in res.epoch_seconds)
+        assert len(res.epoch_mean_delay) == 2
+        assert len(res.epoch_occupancy_skew) == 2
+        assert res.trace.total_iterations == sum(e.iterations for e in res.trace.epochs)
+
+    def test_trace_comparable_with_simulator(self, cluster_problem):
+        part = _partition(cluster_problem)
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+            step_size=0.1, seed=0,
+        )
+        measured = driver.run(2).trace
+        simulated = (
+            ASGDSolver(step_size=0.1, epochs=2, num_workers=NUM_WORKERS, seed=0)
+            .fit(cluster_problem)
+            .trace
+        )
+        summary = compare_traces(measured, simulated)
+        assert summary["measured_iterations"] > 0
+        assert summary["simulated_iterations"] > 0
+        assert "conflict_rate_ratio" in summary
+
+    def test_single_worker_runs(self, cluster_problem):
+        part = _partition(cluster_problem, workers=1)
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+            step_size=0.1, seed=0,
+        )
+        res = driver.run(1)
+        assert res.info["num_workers"] == 1
+        assert res.info["mean_measured_delay"] == 0.0
+        assert res.trace.total_conflicts == 0
+
+    def test_invalid_arguments(self, cluster_problem):
+        part = _partition(cluster_problem)
+        with pytest.raises(ValueError):
+            ClusterDriver(
+                cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+                step_size=0.1, rule="newton",
+            )
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+            step_size=0.1,
+        )
+        with pytest.raises(ValueError):
+            driver.run(0)
+
+
+class _ExplodingObjective(LogisticObjective):
+    """Raises inside the worker hot loop (fork-only test helper)."""
+
+    def batch_grad_coeffs(self, margins, y):  # pragma: no cover - runs in child
+        raise RuntimeError("boom")
+
+
+@pytest.mark.skipif("fork" not in mp.get_all_start_methods(), reason="needs fork")
+class TestWorkerFailure:
+    def test_worker_crash_raises_instead_of_hanging(self, cluster_problem):
+        part = _partition(cluster_problem, workers=2)
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, _ExplodingObjective(), part,
+            step_size=0.1, seed=0, start_method="fork",
+        )
+        with pytest.raises(RuntimeError, match="cluster worker"):
+            driver.run(1)
+
+
+class TestOccupancyAttribution:
+    def test_coloring_occupancy_counts_use_global_coordinates(self):
+        """Regression: shard-write occupancy was counted with flat-layout
+        indices against the coordinate-indexed shard_of map, scrambling the
+        coloring scheme's headline metric.  With rows built as disjoint
+        feature triangles (f, f+10, f+20) the conflict graph is 10 disjoint
+        triangles, greedy colouring uses exactly 3 colours, and every
+        update writes exactly one coordinate per shard — so the measured
+        shard write fractions must be exactly uniform."""
+        from repro.sparse.csr import CSRMatrix
+
+        rows = [((f, f + 10, f + 20), (1.0, 1.0, 1.0)) for f in range(10)] * 4
+        X = CSRMatrix.from_rows(rows, n_cols=30)
+        y = np.asarray([1.0, -1.0] * 20)
+        obj = LogisticObjective()
+        part = partition_dataset(np.arange(40), obj.lipschitz_constants(X, y), 2,
+                                 scheme="uniform")
+        driver = ClusterDriver(X, y, obj, part, step_size=0.05, seed=0,
+                               shard_scheme="coloring", num_shards=3)
+        assert driver.plan.num_shards == 3
+        res = driver.run(2)
+        np.testing.assert_allclose(res.shard_write_fractions, np.full(3, 1 / 3))
+        assert res.epoch_occupancy_skew == pytest.approx([0.0, 0.0])

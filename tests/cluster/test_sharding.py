@@ -1,0 +1,129 @@
+"""Unit tests of the coordinate shard planner (see also
+``tests/graph/test_shard_coloring.py`` for the conflict-graph properties)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.sharding import ShardPlan, make_shard_plan, range_shard_plan
+from repro.sparse.csr import CSRMatrix
+
+
+class TestRangePlan:
+    def test_sizes_balanced(self):
+        plan = range_shard_plan(10, 3)
+        assert plan.num_shards == 3
+        sizes = plan.shard_sizes()
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_shard_of_matches_offsets(self):
+        plan = range_shard_plan(7, 2)
+        for coord in range(7):
+            s = int(plan.shard_of[coord])
+            assert plan.offsets[s] <= coord < plan.offsets[s + 1]
+
+    def test_more_shards_than_coords_capped(self):
+        plan = range_shard_plan(3, 8)
+        assert plan.num_shards == 3
+
+    def test_entry_counts(self):
+        plan = range_shard_plan(8, 2)
+        counts = plan.shard_entry_counts(np.array([0, 1, 7, 7], dtype=np.int64))
+        np.testing.assert_array_equal(counts, [2, 2])
+
+    def test_max_shard_fraction(self):
+        plan = range_shard_plan(8, 2)
+        assert plan.max_shard_fraction() == pytest.approx(0.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            range_shard_plan(0, 2)
+        with pytest.raises(ValueError):
+            range_shard_plan(4, 0)
+
+
+class TestFactory:
+    def test_range_by_name(self):
+        plan = make_shard_plan("range", 6, 2)
+        assert plan.scheme == "range"
+
+    def test_coloring_requires_matrix(self):
+        with pytest.raises(ValueError):
+            make_shard_plan("coloring", 6, 2)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_shard_plan("mystery", 6, 2)
+
+    def test_coloring_by_name(self):
+        X = CSRMatrix.from_rows([([0, 1], [1.0, 1.0]), ([2], [1.0])], n_cols=3)
+        plan = make_shard_plan("coloring", 3, 2, X=X)
+        assert plan.scheme == "coloring"
+        assert plan.shard_of[0] != plan.shard_of[1]
+
+
+class TestShardPlanValidation:
+    def test_bad_offsets(self):
+        with pytest.raises(ValueError):
+            ShardPlan(
+                dim=4,
+                shard_of=np.zeros(4, dtype=np.int64),
+                offsets=np.array([0, 2], dtype=np.int64),
+            )
+
+    def test_bad_shard_of_shape(self):
+        with pytest.raises(ValueError):
+            ShardPlan(
+                dim=4,
+                shard_of=np.zeros(3, dtype=np.int64),
+                offsets=np.array([0, 4], dtype=np.int64),
+            )
+
+
+class TestWideProblemColoring:
+    def test_coloring_scales_past_max_features(self):
+        """Regression: d > max_features used to raise from the exact
+        conflict-graph guard; now only the hottest features are coloured
+        exactly and the rest are spread best-effort."""
+        rng = np.random.default_rng(0)
+        rows = []
+        for _ in range(60):
+            cols = np.sort(rng.choice(300, size=4, replace=False))
+            rows.append((cols, np.ones(4)))
+        X = CSRMatrix.from_rows(rows, n_cols=300)
+        plan = make_shard_plan("coloring", 300, 4, X=X, max_features=50)
+        assert plan.scheme == "coloring"
+        assert plan.shard_sizes().sum() == 300
+        assert sorted(plan.flat_of.tolist()) == list(range(300))
+        # The hottest features keep the exact separation guarantee.
+        occupancy = X.column_nnz()
+        hot = set(np.argsort(occupancy, kind="stable")[-50:].tolist())
+        from repro.cluster.sharding import feature_coloring
+
+        colors = feature_coloring(X, max_features=50)
+        assert set(colors) == hot
+        for i in range(X.n_rows):
+            idx, _ = X.row(i)
+            hot_support = [c for c in idx.tolist() if c in hot]
+            shards = {int(plan.shard_of[c]) for c in hot_support}
+            assert len(shards) == len(hot_support)
+
+    def test_driver_accepts_wide_coloring_problem(self):
+        from repro.cluster import ClusterDriver
+        from repro.core.partition import partition_dataset
+        from repro.objectives.logistic import LogisticObjective
+
+        rng = np.random.default_rng(1)
+        rows = []
+        for _ in range(80):
+            cols = np.sort(rng.choice(400, size=5, replace=False))
+            rows.append((cols, rng.normal(size=5)))
+        X = CSRMatrix.from_rows(rows, n_cols=400)
+        y = np.sign(rng.normal(size=80)) + (rng.normal(size=80) == 0)
+        obj = LogisticObjective()
+        part = partition_dataset(np.arange(80), obj.lipschitz_constants(X, y), 2,
+                                 scheme="uniform")
+        driver = ClusterDriver(X, y, obj, part, step_size=0.1, seed=0,
+                               shard_scheme="coloring", coloring_max_features=64)
+        res = driver.run(1)
+        assert res.trace.total_iterations == 80

@@ -84,3 +84,26 @@ class TestOtherConfigs:
         assert "asgd" in solvers
         forced = {dict(r.solver_kwargs).get("force_balancing") for r in cfg.runs if r.solver == "is_asgd"}
         assert forced == {"balance", "shuffle"}
+
+
+class TestClusterScalingConfig:
+    def test_process_and_simulated_pairs(self):
+        from repro.experiments.configs import cluster_scaling_config
+
+        config = cluster_scaling_config(worker_counts=(1, 2, 4))
+        assert len(config.runs) == 6
+        modes = [dict(r.solver_kwargs).get("async_mode") for r in config.runs]
+        assert modes.count("process") == 3
+        assert modes.count("per_sample") == 3
+        workers = sorted({r.num_workers for r in config.runs})
+        assert workers == [1, 2, 4]
+
+    def test_measured_only(self):
+        from repro.experiments.configs import cluster_scaling_config
+
+        config = cluster_scaling_config(worker_counts=(2,), include_simulated=False,
+                                        shard_scheme="coloring")
+        assert len(config.runs) == 1
+        kwargs = dict(config.runs[0].solver_kwargs)
+        assert kwargs["async_mode"] == "process"
+        assert kwargs["shard_scheme"] == "coloring"

@@ -1,0 +1,135 @@
+"""Coverage of ``graph.coloring`` / ``graph.conflict`` as the shard planner uses them.
+
+The cluster's coloring-aware shard planner
+(:func:`repro.cluster.sharding.coloring_shard_plan`) colours the *feature*
+conflict graph — :func:`repro.graph.coloring.greedy_conflict_coloring` on
+the transposed design matrix — and maps colour classes to coordinate
+shards.  This suite pins the two properties the planner relies on:
+
+* a greedy colouring of the conflict graph is *proper* (adjacent rows get
+  distinct colours), so colour classes are conflict-free units;
+* the resulting plan places conflicting coordinates (features co-occurring
+  in a sample) in distinct shards whenever enough shards are available —
+  verified on a hand-built synthetic conflict graph and, property-style,
+  over random sparse matrices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.sharding import coloring_shard_plan, feature_coloring, range_shard_plan
+from repro.graph.coloring import greedy_conflict_coloring, num_colors
+from repro.graph.conflict import build_conflict_graph, pairwise_conflicts
+from repro.sparse.csr import CSRMatrix
+
+
+def _matrix_from_rows(rows, n_cols):
+    return CSRMatrix.from_rows([(idx, [1.0] * len(idx)) for idx in rows], n_cols=n_cols)
+
+
+@st.composite
+def sparse_matrices(draw):
+    """Small random sparse matrices (each row a random feature subset)."""
+    n_cols = draw(st.integers(min_value=3, max_value=16))
+    n_rows = draw(st.integers(min_value=2, max_value=12))
+    rows = []
+    for _ in range(n_rows):
+        nnz = draw(st.integers(min_value=0, max_value=min(4, n_cols)))
+        cols = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_cols - 1),
+                min_size=nnz, max_size=nnz, unique=True,
+            )
+        )
+        rows.append(sorted(cols))
+    return _matrix_from_rows(rows, n_cols)
+
+
+class TestFeatureColoring:
+    def test_transpose_coloring_is_proper_for_features(self):
+        # Features 0-1 co-occur (row 0), 1-2 co-occur (row 1), 3 isolated.
+        X = _matrix_from_rows([[0, 1], [1, 2], [3]], n_cols=4)
+        colors = feature_coloring(X)
+        assert colors[0] != colors[1]
+        assert colors[1] != colors[2]
+        # Non-adjacent features may share a colour (0 and 2 may collide).
+        assert set(colors) == {0, 1, 2, 3}
+
+    def test_greedy_coloring_proper_on_conflict_graph(self):
+        X = _matrix_from_rows([[0, 1], [1, 2], [2, 3], [0, 3], [4]], n_cols=5)
+        graph = build_conflict_graph(X)
+        coloring = greedy_conflict_coloring(X)
+        for a, b in graph.edges:
+            assert coloring[a] != coloring[b]
+        assert num_colors(coloring) >= 2
+
+    def test_pairwise_conflicts_matches_graph_edges(self):
+        X = _matrix_from_rows([[0, 1], [1, 2], [3], []], n_cols=4)
+        graph = build_conflict_graph(X)
+        for i in range(X.n_rows):
+            for j in range(i + 1, X.n_rows):
+                assert graph.has_edge(i, j) == pairwise_conflicts(X, i, j)
+
+
+class TestColoringShardPlan:
+    def test_synthetic_conflict_graph_separates_conflicting_coordinates(self):
+        # A 5-feature synthetic conflict graph: {0,1,2} mutually conflicting
+        # (one row holds all three), {3,4} conflicting, nothing across.
+        X = _matrix_from_rows([[0, 1, 2], [3, 4]], n_cols=5)
+        plan = coloring_shard_plan(X, num_shards=3)
+        assert plan.scheme == "coloring"
+        # Conflicting coordinates land in distinct shards.
+        assert len({plan.shard_of[c] for c in (0, 1, 2)}) == 3
+        assert plan.shard_of[3] != plan.shard_of[4]
+
+    def test_flat_layout_is_a_permutation_with_contiguous_shards(self):
+        X = _matrix_from_rows([[0, 1, 2], [2, 3], [4, 5]], n_cols=6)
+        plan = coloring_shard_plan(X, num_shards=3)
+        assert sorted(plan.flat_of.tolist()) == list(range(6))
+        # shard_of must agree with the offsets partition of the flat layout.
+        for coord in range(6):
+            flat = plan.flat_of[coord]
+            shard = int(np.searchsorted(plan.offsets, flat, side="right") - 1)
+            assert shard == plan.shard_of[coord]
+
+    def test_roundtrip_flatten_unflatten(self):
+        X = _matrix_from_rows([[0, 1], [1, 2], [3, 4]], n_cols=5)
+        plan = coloring_shard_plan(X, num_shards=2)
+        vec = np.arange(5, dtype=np.float64)
+        np.testing.assert_allclose(plan.unflatten(plan.flatten_vector(vec)), vec)
+
+    def test_range_plan_identity_layout(self):
+        plan = range_shard_plan(10, 3)
+        assert plan.flat_of is None
+        assert plan.shard_sizes().sum() == 10
+        np.testing.assert_array_equal(
+            plan.to_flat(np.arange(10)), np.arange(10)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(X=sparse_matrices())
+    def test_property_conflicting_coordinates_in_distinct_shards(self, X):
+        """For any sparse matrix, with one shard per colour the plan puts
+        every pair of co-occurring features in different shards."""
+        colors = feature_coloring(X)
+        needed = len(set(colors.values()))
+        plan = coloring_shard_plan(X, num_shards=max(needed, 1))
+        for i in range(X.n_rows):
+            idx, _ = X.row(i)
+            shards = plan.shard_of[idx]
+            assert len(set(shards.tolist())) == idx.size, (
+                f"row {i} support {idx.tolist()} mapped to shards {shards.tolist()}"
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(X=sparse_matrices(), extra=st.integers(min_value=0, max_value=4))
+    def test_property_plan_is_always_a_valid_partition(self, X, extra):
+        """Whatever the shard count, the plan partitions all coordinates."""
+        num_shards = max(1, min(X.n_cols, 1 + extra))
+        plan = coloring_shard_plan(X, num_shards=num_shards)
+        assert plan.shard_sizes().sum() == X.n_cols
+        assert sorted(plan.flat_of.tolist()) == list(range(X.n_cols))
+        assert plan.shard_of.min() >= 0
+        assert plan.shard_of.max() < plan.num_shards

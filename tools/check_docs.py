@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Documentation checks: markdown link integrity + README quickstart smoke.
+"""Documentation checks: markdown links + README quickstart + example smoke.
 
 Run from anywhere inside the repository:
 
-    python tools/check_docs.py            # link check + quickstart execution
+    python tools/check_docs.py            # links + quickstart + examples
     python tools/check_docs.py --links-only
+    python tools/check_docs.py --skip-examples
 
 Checks performed:
 
@@ -15,6 +16,9 @@ Checks performed:
    *Quickstart* section is executed with ``bash -euo pipefail`` from the
    repository root (with ``src`` prepended to ``PYTHONPATH``), so the first
    commands a reader copies are guaranteed to work.
+3. **Example smoke** — the runnable examples listed in
+   :data:`SMOKE_EXAMPLES` are executed the same way, so the documented
+   entry points cannot rot silently.
 """
 
 from __future__ import annotations
@@ -27,6 +31,13 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Examples executed by the docs CI job (fast, dependency-light scripts;
+#: arguments keep the runtime in smoke territory).
+SMOKE_EXAMPLES: list[tuple[str, list[str]]] = [
+    ("examples/quickstart.py", ["--epochs", "3", "--workers", "4"]),
+    ("examples/dataset_statistics.py", []),
+]
 
 #: Markdown inline links: [text](target) — images share the syntax.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
@@ -67,15 +78,36 @@ def quickstart_blocks() -> list[str]:
     return [body for lang, body in FENCE_RE.findall(quickstart) if lang == "bash"]
 
 
+def _src_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def run_examples() -> list[str]:
+    """Execute the smoke examples; return failure descriptions."""
+    failures: list[str] = []
+    env = _src_env()
+    for script, args in SMOKE_EXAMPLES:
+        path = REPO_ROOT / script
+        if not path.exists():
+            failures.append(f"{script}: example script missing")
+            continue
+        print(f"--- example {script} ---")
+        proc = subprocess.run([sys.executable, str(path), *args], cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            failures.append(f"{script} exited with {proc.returncode}")
+    return failures
+
+
 def run_quickstart() -> list[str]:
     """Execute the quickstart blocks; return failure descriptions."""
     blocks = quickstart_blocks()
     if not blocks:
         return ["README.md: no bash block found under '## Quickstart'"]
-    env = dict(os.environ)
-    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}" + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
+    env = _src_env()
     failures: list[str] = []
     for i, block in enumerate(blocks, 1):
         print(f"--- quickstart block {i}/{len(blocks)} ---")
@@ -92,7 +124,9 @@ def run_quickstart() -> list[str]:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--links-only", action="store_true",
-                        help="skip executing the quickstart blocks")
+                        help="skip executing the quickstart blocks and examples")
+    parser.add_argument("--skip-examples", action="store_true",
+                        help="run the link check and quickstart but not the examples")
     args = parser.parse_args()
 
     problems = check_links()
@@ -106,6 +140,8 @@ def main() -> int:
 
     if not args.links_only:
         problems += run_quickstart()
+        if not args.skip_examples:
+            problems += run_examples()
 
     if problems:
         print(f"\n{len(problems)} documentation problem(s).", file=sys.stderr)
