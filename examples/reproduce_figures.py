@@ -7,9 +7,15 @@ results directory.  By default the smoke-scale surrogates and reduced thread
 counts are used so the full sweep finishes in minutes; pass ``--full`` for
 the full-scale surrogates and the paper's thread counts {16, 32, 44}.
 
+Every training run is persisted in a content-addressed artifact store
+(``--store``, defaulting to ``<out>/artifacts``), so a second invocation is
+*read-only*: completed runs are loaded from disk and only the rendering is
+redone.  ``--expect-cached`` asserts that property (the docs CI job runs
+the script twice with it).
+
 Run with::
 
-    python examples/reproduce_figures.py [--full] [--out results/]
+    python examples/reproduce_figures.py [--full] [--out results/] [--jobs N]
 """
 
 from __future__ import annotations
@@ -20,15 +26,16 @@ from pathlib import Path
 
 from repro.async_engine.cost_model import CostModel
 from repro.experiments.configs import PAPER_THREAD_COUNTS, figure_config
-from repro.experiments.figures import figure3_data, figure4_data, figure5_data, headline_numbers
+from repro.experiments.figures import figure4_data, figure5_data, headline_numbers
 from repro.experiments.report import (
     format_table,
-    render_curve_rows,
     render_figure_summary,
     render_speedup_slices,
     rows_to_csv,
+    write_report_files,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ArtifactStore
 from repro.experiments.tables import table1_rows
 from repro.utils.logging import enable_console_logging
 
@@ -38,15 +45,32 @@ def main() -> None:
     parser.add_argument("--full", action="store_true",
                         help="full-scale surrogates and the paper's thread counts (much slower)")
     parser.add_argument("--threads", type=int, nargs="+", default=None)
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        help="restrict the sweep to these datasets")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="override the per-dataset epoch count")
     parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--store", default=None,
+                        help="artifact-store directory (default: <out>/artifacts)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel training runs (0 = one per usable core)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--calibrate-cost-model", action="store_true",
                         help="measure per-op costs on this machine instead of using defaults")
+    parser.add_argument("--expect-cached", action="store_true",
+                        help="fail if anything had to be trained (second-run read-only check)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="clear the artifact store first (force a cold sweep)")
     args = parser.parse_args()
 
     enable_console_logging()
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    store = ArtifactStore(args.store if args.store else out / "artifacts")
+    if args.fresh and store.root.is_dir():
+        import shutil
+
+        shutil.rmtree(store.root)
 
     threads = tuple(args.threads) if args.threads else (
         PAPER_THREAD_COUNTS if args.full else (4, 8, 16)
@@ -55,41 +79,46 @@ def main() -> None:
 
     # ---------------------------------------------------------------- Table 1
     smoke = not args.full
-    names = [f"{n}_smoke" for n in ("news20", "url", "kdd_algebra", "kdd_bridge")] if smoke else None
+    if args.datasets is not None:
+        names = [f"{n}_smoke" if smoke and not n.endswith("_smoke") else n
+                 for n in args.datasets]
+    elif smoke:
+        names = [f"{n}_smoke" for n in ("news20", "url", "kdd_algebra", "kdd_bridge")]
+    else:
+        names = None
     table1 = table1_rows(names, seed=args.seed)
     (out / "table1.txt").write_text(format_table(table1, title="Table 1") + "\n")
     (out / "table1.csv").write_text(rows_to_csv(table1))
     print(f"Table 1 written to {out / 'table1.txt'}")
 
     # ------------------------------------------------------------ Figures 3-5
-    config = figure_config(smoke=smoke, thread_counts=threads, seed=args.seed)
-    print(f"running {len(config.runs)} training runs "
-          f"({'full' if args.full else 'smoke'} scale, threads={threads}) ...")
-    runner = ExperimentRunner(config, cost_model=cost_model)
-    runner.run()
-
-    panels3 = figure3_data(runner)
-    (out / "figure3.txt").write_text(render_figure_summary(panels3) + "\n")
-    curve_rows = []
-    for panel in panels3:
-        for solver, curve in panel.curves.items():
-            for row in render_curve_rows(curve, label=f"{panel.dataset}/{solver}/T{panel.num_workers}"):
-                curve_rows.append(row)
-    (out / "figure3_curves.csv").write_text(rows_to_csv(curve_rows))
+    config = figure_config(
+        smoke=smoke, datasets=args.datasets, thread_counts=threads,
+        epochs_override=args.epochs, seed=args.seed,
+    )
+    print(f"sweep of {len(config.runs)} training runs "
+          f"({'full' if args.full else 'smoke'} scale, threads={threads}, "
+          f"store={store.root}) ...")
+    runner = ExperimentRunner(config, cost_model=cost_model, store=store)
+    runner.run(jobs=args.jobs)
+    stats = runner.stats
+    print(f"{stats.trained} trained, {stats.reused} reused from the artifact store")
+    if args.expect_cached and stats.trained:
+        raise SystemExit(
+            f"--expect-cached: {stats.trained} runs had to be trained "
+            f"(store {store.root} was expected to hold the full sweep)"
+        )
 
     panels4 = figure4_data(runner)
-    (out / "figure4.txt").write_text(render_figure_summary(panels4) + "\n")
-
     slices = figure5_data(runner)
-    (out / "figure5.txt").write_text(render_speedup_slices(slices) + "\n")
-
-    headline = headline_numbers(runner)
-    (out / "headline.json").write_text(json.dumps(headline, indent=2, default=float))
+    headline = headline_numbers(runner, panels4=panels4, slices=slices)
+    written = write_report_files(runner, out, panels4=panels4, slices=slices, headline=headline)
 
     print(render_figure_summary(panels4))
     print(render_speedup_slices(slices))
     print(json.dumps(headline, indent=2, default=float))
-    print(f"\nAll outputs written under {out.resolve()}")
+    print(f"\nAll outputs written under {out.resolve()} "
+          f"({', '.join(p.name for p in written)})")
 
 
 if __name__ == "__main__":

@@ -10,8 +10,8 @@ benchmark runs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -25,6 +25,26 @@ class IterationEvent:
     conflicts: int
     grad_nnz: int
     step_scale: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "IterationEvent":
+        """Rebuild an event from :meth:`to_dict` output.
+
+        Like :meth:`EpochEvent.from_dict`, fields absent from the payload
+        fall back to their dataclass defaults (once they grow any), so
+        artifacts written before a field existed still load; a payload
+        missing a required field raises :class:`ValueError`, not a bare
+        ``KeyError``/``TypeError``.
+        """
+        known = {f.name: payload[f.name] for f in fields(cls) if f.name in payload}
+        try:
+            return cls(**known)
+        except TypeError as exc:
+            raise ValueError(f"IterationEvent payload is invalid: {exc}") from exc
 
 
 @dataclass
@@ -100,6 +120,23 @@ class EpochEvent:
         """Conflicts per iteration within the epoch."""
         return self.conflicts / self.iterations if self.iterations else 0.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EpochEvent":
+        """Rebuild an epoch record from :meth:`to_dict` output.
+
+        Counter fields absent from the payload fall back to their dataclass
+        defaults, so artifacts written before a counter existed (e.g.
+        ``history_overflows``) still load.
+        """
+        kwargs = {f.name: payload[f.name] for f in fields(cls) if f.name in payload}
+        if "epoch" not in kwargs:
+            raise ValueError("EpochEvent payload is missing the 'epoch' field")
+        return cls(**kwargs)
+
 
 @dataclass
 class ExecutionTrace:
@@ -141,6 +178,25 @@ class ExecutionTrace:
         """Overall conflicts per iteration."""
         total = self.total_iterations
         return self.total_conflicts / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`).
+
+        Per-iteration events are included only when they were recorded
+        (full tracing); the common per-epoch-only trace stays compact.
+        """
+        payload: Dict[str, Any] = {"epochs": [e.to_dict() for e in self.epochs]}
+        if self.iterations is not None:
+            payload["iterations"] = [it.to_dict() for it in self.iterations]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExecutionTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        trace = cls(epochs=[EpochEvent.from_dict(e) for e in payload.get("epochs", [])])
+        if payload.get("iterations") is not None:
+            trace.iterations = [IterationEvent.from_dict(it) for it in payload["iterations"]]
+        return trace
 
 
 __all__ = ["IterationEvent", "EpochEvent", "ExecutionTrace"]

@@ -42,12 +42,26 @@ DEFAULT_ASYNC_MODE = "per_sample"
 
 _MODES = ("per_sample", "batched", "threads", "process")
 
+#: One-line description per mode (surfaced by ``python -m repro list`` and
+#: the generated ``docs/reference.md``).
+MODE_DESCRIPTIONS = {
+    "per_sample": "trace-exact ground-truth simulator, one Python iteration per update",
+    "batched": "macro-step fast path through the kernel batch primitives (trace bit-equal)",
+    "threads": "real lock-free Python threads (functional validation; GIL-bound)",
+    "process": "multi-process sharded parameter server with measured wall-clock",
+}
+
 _default_override: Optional[str] = None
 
 
 def available_async_modes() -> List[str]:
     """Mode names accepted by :func:`resolve_async_mode`."""
     return list(_MODES)
+
+
+def async_mode_description(mode: str) -> str:
+    """One-line description of a mode (for registries and generated docs)."""
+    return MODE_DESCRIPTIONS.get(_validate(mode), "")
 
 
 def default_async_mode() -> str:
@@ -84,6 +98,8 @@ def _validate(mode: str) -> str:
 __all__ = [
     "ASYNC_MODE_ENV_VAR",
     "DEFAULT_ASYNC_MODE",
+    "MODE_DESCRIPTIONS",
+    "async_mode_description",
     "available_async_modes",
     "default_async_mode",
     "set_default_async_mode",

@@ -1,0 +1,17 @@
+"""Command-line interface for the reproduction (``python -m repro``).
+
+Subcommands:
+
+* ``run``    — execute (or re-load) one training run
+* ``sweep``  — execute a named experiment configuration, in parallel,
+  resuming from the artifact store
+* ``report`` — rebuild the paper's figure/table summaries from stored
+  artifacts without re-training
+* ``bench``  — time a sweep cold vs warm and write ``BENCH_cli.json``
+* ``list``   — show the registries (solvers, objectives, backends, async
+  modes, datasets, configs) or the contents of a store
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -7,10 +7,22 @@ executes them, :mod:`repro.experiments.tables` /
 and Figures 3-5, and :mod:`repro.experiments.report` renders plain-text
 tables (the library produces data series, not plots, so it stays
 matplotlib-free).
+
+:mod:`repro.experiments.store` persists every run as a content-addressed
+JSON artifact so sweeps are resumable and reports rebuild from disk; the
+``python -m repro`` CLI (:mod:`repro.cli`) orchestrates all of it.
 """
 
-from repro.experiments.configs import ExperimentConfig, RunSpec, figure_config, table1_config
-from repro.experiments.runner import ExperimentRunner, run_single
+from repro.experiments.configs import (
+    ExperimentConfig,
+    RunSpec,
+    available_configs,
+    figure_config,
+    make_config,
+    table1_config,
+)
+from repro.experiments.runner import ExperimentRunner, RecordSet, run_single
+from repro.experiments.store import ArtifactStore, run_identity, run_key
 from repro.experiments.tables import table1_rows
 from repro.experiments.figures import (
     figure3_data,
@@ -23,9 +35,15 @@ from repro.experiments.report import format_table, render_figure_summary
 __all__ = [
     "ExperimentConfig",
     "RunSpec",
+    "available_configs",
     "figure_config",
+    "make_config",
     "table1_config",
+    "ArtifactStore",
+    "run_identity",
+    "run_key",
     "ExperimentRunner",
+    "RecordSet",
     "run_single",
     "table1_rows",
     "figure3_data",

@@ -10,8 +10,9 @@ restriction of SVRG-ASGD to the (smallest, densest) News20 dataset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets.catalog import get_descriptor, list_datasets
 
@@ -68,6 +69,54 @@ class ExperimentConfig:
             objective=self.objective,
             regularization=self.regularization,
             seed=self.seed,
+            description=self.description,
+        )
+
+    def with_overrides(
+        self,
+        *,
+        async_mode: Optional[str] = None,
+        kernel: Optional[str] = None,
+        epochs: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> "ExperimentConfig":
+        """A copy with execution-layer overrides threaded into every run.
+
+        ``async_mode`` (validated against :mod:`repro.async_engine.modes`)
+        is applied to the asynchronous solvers only — serial solvers do not
+        accept it; ``kernel`` (validated against the kernel registry) is
+        applied to every solver.  Existing ``solver_kwargs`` entries with
+        the same name are replaced, so a CLI flag beats the config default.
+        """
+        from repro.async_engine.modes import resolve_async_mode
+        from repro.experiments.store import ASYNC_SOLVERS
+        from repro.kernels.registry import make_backend
+
+        if async_mode is not None:
+            resolve_async_mode(async_mode)
+        if kernel is not None:
+            make_backend(kernel)  # raises on unknown names
+        runs: List[RunSpec] = []
+        for spec in self.runs:
+            kwargs = dict(spec.solver_kwargs)
+            if async_mode is not None and spec.solver in ASYNC_SOLVERS:
+                kwargs["async_mode"] = async_mode
+            if kernel is not None and spec.solver != "none":
+                kwargs["kernel"] = kernel
+            runs.append(
+                replace(
+                    spec,
+                    solver_kwargs=tuple(sorted(kwargs.items())),
+                    epochs=spec.epochs if epochs is None else epochs,
+                    seed=spec.seed if seed is None else seed,
+                )
+            )
+        return ExperimentConfig(
+            name=self.name,
+            runs=runs,
+            objective=self.objective,
+            regularization=self.regularization,
+            seed=self.seed if seed is None else seed,
             description=self.description,
         )
 
@@ -231,6 +280,94 @@ def balancing_ablation_config(
     )
 
 
+# --------------------------------------------------------------------- #
+# Named-configuration registry (the CLI's ``--config`` values)
+# --------------------------------------------------------------------- #
+_CONFIG_BUILDERS: Dict[str, Callable[..., ExperimentConfig]] = {
+    "figures": figure_config,
+    "cluster": cluster_scaling_config,
+    "table1": table1_config,
+    "ablation": balancing_ablation_config,
+}
+
+
+def available_configs() -> List[str]:
+    """Names accepted by :func:`make_config`, sorted alphabetically."""
+    return sorted(_CONFIG_BUILDERS)
+
+
+def config_description(name: str) -> str:
+    """First docstring line of a named configuration's builder."""
+    doc = _CONFIG_BUILDERS[name].__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+#: Override spellings that name the same knob under different builders
+#: (``figure_config`` has ``thread_counts``, ``cluster_scaling_config`` has
+#: ``worker_counts``, ...).  A request is satisfied when *any* spelling of
+#: its group reaches the builder.
+_OVERRIDE_ALIASES: Tuple[frozenset, ...] = (
+    frozenset({"epochs", "epochs_override"}),
+    frozenset({"thread_counts", "worker_counts"}),
+    frozenset({"datasets", "dataset"}),
+)
+
+
+def make_config(name: str, **overrides: Any) -> ExperimentConfig:
+    """Build a named configuration, translating the uniform override namespace.
+
+    The builders take different keyword sets, so equivalent spellings are
+    mapped onto whichever one the builder accepts (``epochs`` /
+    ``epochs_override``, ``thread_counts`` / ``worker_counts``, a
+    single-element ``datasets`` list onto ``dataset``, and ``smoke=True``
+    onto a ``*_smoke`` dataset for single-dataset builders).  Overrides set
+    to ``None`` are treated as "not given"; an override the builder cannot
+    honour under any spelling raises :class:`ValueError` rather than being
+    dropped — silently ignoring e.g. ``smoke`` would train full-scale data
+    the caller asked to avoid.
+    """
+    try:
+        builder = _CONFIG_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment config {name!r}; available: {', '.join(available_configs())}"
+        ) from None
+    signature = inspect.signature(builder)
+    accepted = set(signature.parameters)
+    given = {k: v for k, v in overrides.items() if v is not None}
+    kwargs = {k: v for k, v in given.items() if k in accepted}
+    dropped = set(given) - accepted
+
+    if "datasets" in dropped and "dataset" in accepted and "dataset" not in kwargs:
+        names = list(given["datasets"])
+        if len(names) != 1:
+            raise ValueError(
+                f"config {name!r} sweeps a single dataset; pass exactly one "
+                f"dataset instead of {names!r}"
+            )
+        kwargs["dataset"] = names[0]
+    if "smoke" in dropped and "dataset" in accepted:
+        if given["smoke"]:
+            base = kwargs.get("dataset", signature.parameters["dataset"].default)
+            if isinstance(base, str) and not base.endswith("_smoke"):
+                kwargs["dataset"] = f"{base}_smoke"
+        dropped.discard("smoke")
+    for group in _OVERRIDE_ALIASES:
+        if group & set(kwargs):
+            dropped -= group
+    if dropped:
+        raise ValueError(
+            f"config {name!r} does not accept override(s) {sorted(dropped)}; "
+            f"accepted: {sorted(accepted)}"
+        )
+    return builder(**kwargs)
+
+
+def register_config(name: str, builder: Callable[..., ExperimentConfig]) -> None:
+    """Register a custom configuration builder (overwrites an existing name)."""
+    _CONFIG_BUILDERS[name] = builder
+
+
 __all__ = [
     "PAPER_THREAD_COUNTS",
     "FAST_THREAD_COUNTS",
@@ -240,4 +377,8 @@ __all__ = [
     "cluster_scaling_config",
     "table1_config",
     "balancing_ablation_config",
+    "available_configs",
+    "config_description",
+    "make_config",
+    "register_config",
 ]

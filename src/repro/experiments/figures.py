@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import RecordSet
 from repro.metrics.convergence import ConvergenceCurve
 from repro.metrics.speedup import (
     SpeedupPoint,
@@ -36,12 +36,12 @@ class FigurePanel:
     annotations: Dict[str, float] = field(default_factory=dict)
 
 
-def _serial_record(runner: ExperimentRunner, dataset: str):
+def _serial_record(runner: RecordSet, dataset: str):
     matches = runner.find(dataset=dataset, solver="sgd")
     return matches[0] if matches else None
 
 
-def figure3_data(runner: ExperimentRunner) -> List[FigurePanel]:
+def figure3_data(runner: RecordSet) -> List[FigurePanel]:
     """Iterative-convergence panels (metric vs epoch) for every dataset x concurrency.
 
     Every panel carries the curves of every solver that ran on that dataset;
@@ -66,7 +66,7 @@ def figure3_data(runner: ExperimentRunner) -> List[FigurePanel]:
     return panels
 
 
-def figure4_data(runner: ExperimentRunner) -> List[FigurePanel]:
+def figure4_data(runner: RecordSet) -> List[FigurePanel]:
     """Absolute-convergence panels (metric vs simulated wall-clock) with optimum markers.
 
     Each panel's annotations contain, when both solvers are present, the
@@ -106,7 +106,7 @@ class SpeedupSlice:
 
 
 def figure5_data(
-    runner: ExperimentRunner,
+    runner: RecordSet,
     *,
     targets_per_slice: int = 12,
 ) -> List[SpeedupSlice]:
@@ -132,24 +132,31 @@ def figure5_data(
     return slices
 
 
-def headline_numbers(runner: ExperimentRunner) -> Dict[str, object]:
+def headline_numbers(
+    runner: RecordSet,
+    *,
+    panels4: Optional[List[FigurePanel]] = None,
+    slices: Optional[List[SpeedupSlice]] = None,
+) -> Dict[str, object]:
     """The Section-4.2 headline aggregates.
 
     Returns the range of optimum speedups (IS-ASGD reaching ASGD's optimum),
     the range of average speedups along the Figure-5 slices, the raw
     computational speedups over serial SGD, and the IS sampling overhead.
+    Callers that already built the Figure 4 panels / Figure 5 slices from
+    the same record set can pass them in to avoid recomputing.
     """
     optimum: List[float] = []
     averages_over_asgd: List[float] = []
     raw_over_sgd: List[float] = []
     sampling_overhead: List[float] = []
 
-    for panel in figure4_data(runner):
+    for panel in panels4 if panels4 is not None else figure4_data(runner):
         speedup = panel.annotations.get("optimum_speedup")
         if speedup is not None:
             optimum.append(float(speedup))
 
-    for sl in figure5_data(runner):
+    for sl in slices if slices is not None else figure5_data(runner):
         mean = sl.mean_speedup
         if mean is None:
             continue

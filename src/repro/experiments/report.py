@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterable, List, Optional, Sequence
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 
 def _format_value(value: object, *, precision: int = 4) -> str:
@@ -119,10 +121,74 @@ def render_speedup_slices(slices) -> str:
     return format_table(rows, title="Figure 5: error-rate -> speedup slices")
 
 
+def write_report_files(
+    records,
+    out: Union[str, Path],
+    *,
+    panels4=None,
+    slices=None,
+    headline=None,
+) -> List[Path]:
+    """Render Figure 3/4/5 artefacts from a record set into ``out``.
+
+    Shared by ``python -m repro report`` and
+    ``examples/reproduce_figures.py``: given any
+    :class:`~repro.experiments.runner.RecordSet`-like object (live runner
+    or records re-hydrated from the artifact store), writes the figure
+    summaries, per-epoch curve CSV and headline JSON, and returns the
+    written paths.  Callers that already built the Figure 4 panels,
+    Figure 5 slices or headline dict from the same record set (e.g. to
+    print them) can pass them in so rendering does not recompute them.
+    """
+    from repro.experiments.figures import (
+        figure3_data,
+        figure4_data,
+        figure5_data,
+        headline_numbers,
+    )
+
+    out = Path(out)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    panels3 = figure3_data(records)
+    path = out / "figure3.txt"
+    path.write_text(render_figure_summary(panels3) + "\n")
+    written.append(path)
+    curve_rows = []
+    for panel in panels3:
+        for solver, curve in panel.curves.items():
+            label = f"{panel.dataset}/{solver}/T{panel.num_workers}"
+            curve_rows.extend(render_curve_rows(curve, label=label))
+    path = out / "figure3_curves.csv"
+    path.write_text(rows_to_csv(curve_rows))
+    written.append(path)
+
+    if panels4 is None:
+        panels4 = figure4_data(records)
+    path = out / "figure4.txt"
+    path.write_text(render_figure_summary(panels4) + "\n")
+    written.append(path)
+
+    if slices is None:
+        slices = figure5_data(records)
+    path = out / "figure5.txt"
+    path.write_text(render_speedup_slices(slices) + "\n")
+    written.append(path)
+
+    if headline is None:
+        headline = headline_numbers(records, panels4=panels4, slices=slices)
+    path = out / "headline.json"
+    path.write_text(json.dumps(headline, indent=2, default=float))
+    written.append(path)
+    return written
+
+
 __all__ = [
     "format_table",
     "rows_to_csv",
     "render_curve_rows",
     "render_figure_summary",
     "render_speedup_slices",
+    "write_report_files",
 ]

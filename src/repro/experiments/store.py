@@ -1,0 +1,250 @@
+"""Content-addressed artifact store for experiment runs.
+
+Every executed :class:`~repro.experiments.configs.RunSpec` produces one
+JSON artifact whose filename is the SHA-256 of the run's *identity* — the
+complete set of inputs that determine the result: dataset, solver,
+concurrency, step size, epochs, seed, solver kwargs, the resolved async
+execution mode and kernel backend, and the evaluation objective.  Two
+consequences:
+
+* a sweep re-invoked after an interruption recognises every completed run
+  by key and skips it (resume-for-free), and
+* ``python -m repro report`` rebuilds the paper's figures and tables from
+  disk without re-training anything.
+
+Artifacts are written atomically (temp file + :func:`os.replace` in the
+same directory), so a run killed mid-write never leaves a half-artifact
+that would poison a later resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.experiments.configs import RunSpec
+from repro.metrics.tracing import RunRecord, _jsonable
+
+#: On-disk artifact schema version (bump on incompatible layout changes).
+FORMAT_VERSION = 1
+
+#: Solvers that execute through the async engine and therefore depend on
+#: the resolved ``async_mode`` (serial solvers ignore it).
+ASYNC_SOLVERS = frozenset({"asgd", "is_asgd", "svrg_asgd"})
+
+
+def run_identity(
+    spec: RunSpec,
+    *,
+    objective: str = "logistic_l1",
+    regularization: float = 1e-4,
+    cost_model: Optional["CostModel"] = None,
+    dataset_seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The complete, JSON-canonical identity of one run.
+
+    The identity resolves every ambient default that influences the result:
+    for async solvers the execution mode (explicit kwarg, else the
+    process-wide default from :mod:`repro.async_engine.modes`), for all
+    solvers the kernel backend (explicit kwarg, else the registry default),
+    and the cost model pricing the simulated wall-clock axis.  A sweep
+    started under ``REPRO_ASYNC_MODE=batched`` or with a calibrated cost
+    model therefore does not collide with one under the defaults.  The
+    ``async_mode``/``kernel`` kwargs are hoisted into their resolved
+    top-level fields, so explicitly spelling a default hashes identically
+    to omitting it.
+
+    ``dataset_seed`` is the seed the dataset/problem is generated from —
+    the runner uses its config-level seed for that, which may differ from
+    ``spec.seed`` (the solver's RNG stream) on hand-built configs; it
+    defaults to ``spec.seed``, matching :func:`~...runner.run_single`.
+    """
+    from dataclasses import asdict
+
+    from repro.async_engine.cost_model import CostModel
+    from repro.async_engine.modes import default_async_mode, resolve_async_mode
+    from repro.kernels.registry import default_backend_name
+
+    kwargs = dict(spec.kwargs())
+    async_mode: Optional[str] = None
+    if spec.solver in ASYNC_SOLVERS:
+        explicit = kwargs.pop("async_mode", None)
+        async_mode = resolve_async_mode(explicit) if explicit is not None else default_async_mode()
+    kernel = kwargs.pop("kernel", None)
+    if kernel is None:
+        kernel = default_backend_name()
+    elif not isinstance(kernel, str):
+        raise ValueError(
+            "artifact identities require the 'kernel' solver kwarg to be a registry "
+            f"name, got {type(kernel).__name__}"
+        )
+    ok, canonical_kwargs = _jsonable(kwargs)
+    if not ok:
+        raise ValueError(
+            f"solver kwargs for {spec.solver!r} on {spec.dataset!r} are not "
+            "JSON-serializable; pass registry names instead of live objects"
+        )
+    params = (cost_model or CostModel()).params
+    return {
+        "dataset": spec.dataset,
+        "solver": spec.solver,
+        "num_workers": int(spec.num_workers),
+        "step_size": float(spec.step_size),
+        "epochs": int(spec.epochs),
+        "seed": int(spec.seed),
+        "dataset_seed": int(dataset_seed if dataset_seed is not None else spec.seed),
+        "kwargs": canonical_kwargs,
+        "async_mode": async_mode,
+        "kernel": kernel,
+        "objective": objective,
+        "regularization": float(regularization),
+        "cost_model": {k: float(v) for k, v in sorted(asdict(params).items())},
+    }
+
+
+def identity_key(identity: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of an identity."""
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_key(
+    spec: RunSpec,
+    *,
+    objective: str = "logistic_l1",
+    regularization: float = 1e-4,
+    cost_model: Optional["CostModel"] = None,
+    dataset_seed: Optional[int] = None,
+) -> str:
+    """The content-addressed key of one run spec."""
+    return identity_key(
+        run_identity(
+            spec,
+            objective=objective,
+            regularization=regularization,
+            cost_model=cost_model,
+            dataset_seed=dataset_seed,
+        )
+    )
+
+
+class ArtifactStore:
+    """A directory of content-addressed run artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the ``<key>.json`` artifacts; created lazily on
+        the first :meth:`save`.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """The artifact path of ``key``."""
+        return self.root / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """Whether a completed artifact exists for ``key``."""
+        return self.path_for(key).is_file()
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def keys(self) -> List[str]:
+        """Keys of every stored artifact, sorted for determinism."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # ------------------------------------------------------------------ #
+    def save(self, key: str, record: RunRecord, identity: Optional[Dict[str, Any]] = None) -> Path:
+        """Persist ``record`` under ``key`` (atomic: temp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format_version": FORMAT_VERSION,
+            "key": key,
+            "identity": identity,
+            "record": record.to_dict(),
+        }
+        payload = json.dumps(entry, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=f".{key[:12]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self.path_for(key)
+
+    def load_entry(self, key: str) -> Dict[str, Any]:
+        """The full on-disk entry (format, identity and record payload)."""
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"artifact {path} is missing or corrupt: {exc}") from exc
+        version = entry.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"artifact {path} has format_version {version!r}, expected {FORMAT_VERSION}"
+            )
+        return entry
+
+    def load(self, key: str) -> RunRecord:
+        """Rebuild the :class:`RunRecord` stored under ``key``."""
+        return RunRecord.from_dict(self.load_entry(key)["record"])
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Iterate ``(key, entry)`` over every artifact (sorted by key)."""
+        for key in self.keys():
+            yield key, self.load_entry(key)
+
+    def records(self) -> List[RunRecord]:
+        """Every stored record, sorted by key."""
+        return [RunRecord.from_dict(entry["record"]) for _, entry in self.entries()]
+
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        """One flat row per artifact (for ``python -m repro list --store``)."""
+        rows: List[Dict[str, Any]] = []
+        for key, entry in self.entries():
+            identity = entry.get("identity") or {}
+            record = entry.get("record", {})
+            rows.append(
+                {
+                    "key": key[:12],
+                    "dataset": identity.get("dataset", record.get("dataset", "?")),
+                    "solver": identity.get("solver", record.get("solver", "?")),
+                    "workers": identity.get("num_workers", record.get("num_workers", "?")),
+                    "async_mode": identity.get("async_mode") or "-",
+                    "epochs": identity.get("epochs", "?"),
+                    "seed": identity.get("seed", "?"),
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore({str(self.root)!r}, artifacts={len(self)})"
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ASYNC_SOLVERS",
+    "ArtifactStore",
+    "identity_key",
+    "run_identity",
+    "run_key",
+]

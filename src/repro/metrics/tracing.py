@@ -3,12 +3,49 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.async_engine.events import ExecutionTrace
 from repro.metrics.convergence import ConvergenceCurve
+
+
+def _jsonable(value: Any) -> Tuple[bool, Any]:
+    """Coerce ``value`` into a JSON-serializable equivalent.
+
+    Returns ``(ok, converted)``; numpy scalars become Python scalars,
+    numpy arrays and (possibly nested) sequences become lists, and
+    anything irreducible reports ``ok=False`` so the caller can drop it
+    loudly instead of failing the whole dump.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True, value
+    if isinstance(value, (np.integer,)):
+        return True, int(value)
+    if isinstance(value, (np.floating,)):
+        return True, float(value)
+    if isinstance(value, np.bool_):
+        return True, bool(value)
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, (list, tuple)):
+        out = []
+        for item in value:
+            ok, converted = _jsonable(item)
+            if not ok:
+                return False, None
+            out.append(converted)
+        return True, out
+    if isinstance(value, dict):
+        out_d = {}
+        for key, item in value.items():
+            ok, converted = _jsonable(item)
+            if not ok or not isinstance(key, str):
+                return False, None
+            out_d[key] = converted
+        return True, out_d
+    return False, None
 
 
 @dataclass
@@ -62,6 +99,51 @@ class RunRecord:
             if isinstance(value, (int, float, str, bool, np.integer, np.floating)):
                 row[key] = value
         return row
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (the artifact store's on-disk format)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`).
+
+        The curve and trace round-trip losslessly (including the measured
+        wall-clock axis and the ``history_overflows`` counters).  ``info``
+        entries that cannot be represented in JSON (e.g. live objects) are
+        dropped and their keys recorded under ``"_dropped_info"`` so the
+        loss is visible rather than silent.
+        """
+        info: Dict[str, Any] = {}
+        dropped = []
+        for key, value in self.info.items():
+            ok, converted = _jsonable(value)
+            if ok:
+                info[key] = converted
+            else:
+                dropped.append(key)
+        payload: Dict[str, Any] = {
+            "solver": self.solver,
+            "dataset": self.dataset,
+            "num_workers": int(self.num_workers),
+            "curve": self.curve.as_dict(),
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+            "info": info,
+        }
+        if dropped:
+            payload["_dropped_info"] = sorted(dropped)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        trace = payload.get("trace")
+        return cls(
+            solver=payload["solver"],
+            dataset=payload["dataset"],
+            num_workers=int(payload["num_workers"]),
+            curve=ConvergenceCurve.from_dict(payload["curve"]),
+            trace=ExecutionTrace.from_dict(trace) if trace is not None else None,
+            info=dict(payload.get("info", {})),
+        )
 
 
 __all__ = ["RunRecord"]

@@ -109,4 +109,41 @@ def register_solver(name: str, factory: Callable[..., BaseSolver]) -> None:
     _FACTORIES[name] = factory
 
 
-__all__ = ["available_solvers", "make_solver", "register_solver"]
+#: Where each built-in solver class lives (``docs/reference.md`` generation).
+_CLASS_PATHS: Dict[str, str] = {
+    "sgd": "repro.solvers.sgd:SGDSolver",
+    "is_sgd": "repro.solvers.is_sgd:ISSGDSolver",
+    "gd": "repro.solvers.gd:GradientDescentSolver",
+    "svrg": "repro.solvers.svrg:SVRGSolver",
+    "saga": "repro.solvers.saga:SAGASolver",
+    "asgd": "repro.solvers.asgd:ASGDSolver",
+    "svrg_asgd": "repro.solvers.svrg_asgd:SVRGASGDSolver",
+    "is_asgd": "repro.core.is_asgd:ISASGDSolver",
+    "minibatch_sgd": "repro.solvers.minibatch:MiniBatchSGDSolver",
+}
+
+
+def solver_class(name: str) -> type:
+    """The concrete solver class behind a registry name.
+
+    Used by the reference-page generator to introspect docstrings and
+    constructor signatures without instantiating anything.  Only built-in
+    solvers are resolvable; custom factories registered at runtime raise.
+    """
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
+        )
+    try:
+        path = _CLASS_PATHS[name]
+    except KeyError:
+        raise ValueError(
+            f"solver {name!r} was registered dynamically; no class path is recorded"
+        ) from None
+    import importlib
+
+    module_name, _, class_name = path.partition(":")
+    return getattr(importlib.import_module(module_name), class_name)
+
+
+__all__ = ["available_solvers", "make_solver", "register_solver", "solver_class"]

@@ -63,3 +63,79 @@ class TestExecutionTrace:
             )
         )
         assert len(t.iterations) == 1
+
+
+class TestEventSerialization:
+    """JSON round-trips of the event/trace containers (the artifact-store path)."""
+
+    def _full_epoch(self):
+        e = EpochEvent(epoch=2)
+        e.merge_bulk(
+            iterations=100, grad_nnz=400, dense_coords=50, conflicts=7,
+            sample_draws=100, stale_reads=30, max_delay=9, history_overflows=3,
+        )
+        return e
+
+    def test_epoch_event_round_trip(self):
+        e = self._full_epoch()
+        clone = EpochEvent.from_dict(e.to_dict())
+        assert clone == e
+        assert clone.history_overflows == 3
+        assert clone.max_observed_delay == 9
+
+    def test_epoch_event_payload_is_json_safe(self):
+        import json
+
+        payload = json.loads(json.dumps(self._full_epoch().to_dict()))
+        assert EpochEvent.from_dict(payload) == self._full_epoch()
+
+    def test_epoch_event_missing_counter_defaults(self):
+        # Artifacts written before a counter existed must still load.
+        payload = self._full_epoch().to_dict()
+        del payload["history_overflows"]
+        assert EpochEvent.from_dict(payload).history_overflows == 0
+
+    def test_epoch_event_requires_epoch(self):
+        with pytest.raises(ValueError, match="epoch"):
+            EpochEvent.from_dict({"iterations": 1})
+
+    def test_iteration_event_round_trip(self):
+        it = IterationEvent(
+            global_step=5, worker_id=1, sample_index=42, delay=3, conflicts=2,
+            grad_nnz=17, step_scale=0.75,
+        )
+        assert IterationEvent.from_dict(it.to_dict()) == it
+
+    def test_trace_round_trip_without_iterations(self):
+        t = ExecutionTrace(epochs=[self._full_epoch()])
+        clone = ExecutionTrace.from_dict(t.to_dict())
+        assert clone.epochs == t.epochs
+        assert clone.iterations is None
+        assert clone.total_history_overflows == 3
+
+    def test_trace_round_trip_with_iterations(self):
+        t = ExecutionTrace(
+            epochs=[self._full_epoch()],
+            iterations=[
+                IterationEvent(global_step=0, worker_id=0, sample_index=1, delay=0,
+                               conflicts=0, grad_nnz=2, step_scale=1.0)
+            ],
+        )
+        clone = ExecutionTrace.from_dict(t.to_dict())
+        assert clone.iterations == t.iterations
+        assert clone.epochs == t.epochs
+
+    def test_iteration_event_tolerates_unknown_and_missing_fields(self):
+        it = IterationEvent(
+            global_step=5, worker_id=1, sample_index=42, delay=3, conflicts=2,
+            grad_nnz=17, step_scale=0.75,
+        )
+        payload = it.to_dict()
+        # Newer artifacts may carry fields this version does not know.
+        payload["future_counter"] = 9
+        assert IterationEvent.from_dict(payload) == it
+        # A missing required field is a ValueError, not a bare KeyError.
+        del payload["future_counter"]
+        del payload["worker_id"]
+        with pytest.raises(ValueError, match="worker_id"):
+            IterationEvent.from_dict(payload)

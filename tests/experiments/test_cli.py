@@ -1,0 +1,232 @@
+"""Tests for the ``python -m repro`` CLI (driven in-process via ``main(argv)``)."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.experiments.store import ArtifactStore
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+SWEEP = ("sweep", "--config", "figures", "--smoke", "--datasets", "news20",
+         "--threads", "4", "--epochs", "2")
+
+
+class TestList:
+    def test_registries_json(self, capsys):
+        code, out, _ = _run(capsys, "list", "--json")
+        assert code == 0
+        registries = json.loads(out)
+        assert "is_asgd" in registries["solvers"]
+        assert "vectorized" in registries["kernel_backends"]
+        assert "process" in registries["async_modes"]
+        assert "figures" in registries["configs"]
+        assert "news20_smoke" in registries["datasets"]
+
+    def test_empty_store(self, tmp_path, capsys):
+        code, out, _ = _run(capsys, "list", "--store", str(tmp_path / "none"))
+        assert code == 0
+        assert "no artifacts" in out
+
+
+class TestRun:
+    def test_trains_and_reuses(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ("run", "--dataset", "news20_smoke", "--solver", "is_asgd",
+                "--workers", "4", "--epochs", "2", "--store", store)
+        code, out, _ = _run(capsys, *argv)
+        assert code == 0
+        assert "trained" in out
+        assert len(ArtifactStore(store)) == 1
+
+        code, out, _ = _run(capsys, *argv)
+        assert code == 0
+        assert "reused from store" in out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        code, out, _ = _run(
+            capsys, "run", "--dataset", "news20_smoke", "--solver", "sgd",
+            "--epochs", "2", "--store", str(tmp_path / "store"), "--json",
+        )
+        assert code == 0
+        payload = json.loads(out[out.index("{"):])
+        assert payload["solver"] == "sgd"
+        assert len(payload["curve"]["epochs"]) == 2
+
+    def test_unknown_solver_is_an_error(self, tmp_path, capsys):
+        code, _, err = _run(
+            capsys, "run", "--dataset", "news20_smoke", "--solver", "nope",
+            "--store", str(tmp_path / "store"),
+        )
+        assert code == 2
+        assert "unknown solver" in err
+
+    def test_unknown_async_mode_is_an_error(self, tmp_path, capsys):
+        code, _, err = _run(
+            capsys, "run", "--dataset", "news20_smoke", "--solver", "is_asgd",
+            "--async-mode", "nope", "--store", str(tmp_path / "store"),
+        )
+        assert code == 2
+        assert "unknown async mode" in err
+
+
+class TestSweep:
+    def test_dry_run_trains_nothing(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code, out, _ = _run(capsys, *SWEEP, "--store", store, "--dry-run")
+        assert code == 0
+        assert "pending" in out
+        assert "dry run: nothing executed." in out
+        assert len(ArtifactStore(store)) == 0
+
+    def test_sweep_then_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code, out, _ = _run(capsys, *SWEEP, "--store", store)
+        assert code == 0
+        assert "4 trained, 0 reused" in out
+
+        code, out, _ = _run(capsys, *SWEEP, "--store", store)
+        assert code == 0
+        assert "0 trained, 4 reused" in out
+
+        code, out, _ = _run(capsys, *SWEEP, "--store", store, "--dry-run")
+        assert code == 0
+        assert "pending" not in out.split("dry run")[0].split("status")[-1]
+
+    def test_async_mode_threaded_through(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code, out, _ = _run(capsys, *SWEEP, "--store", store, "--async-mode", "batched")
+        assert code == 0
+        assert "batched" in out
+        rows = ArtifactStore(store).summary_rows()
+        modes = {r["async_mode"] for r in rows if r["solver"] != "sgd"}
+        assert modes == {"batched"}
+
+
+class TestReport:
+    def test_empty_store_fails_with_hint(self, tmp_path, capsys):
+        code, _, err = _run(capsys, "report", "--store", str(tmp_path / "none"))
+        assert code == 1
+        assert "no artifacts" in err
+
+    def test_report_from_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        _run(capsys, *SWEEP, "--store", store)
+        out_dir = tmp_path / "results"
+        code, out, _ = _run(capsys, "report", "--store", store,
+                            "--out", str(out_dir), "--json")
+        assert code == 0
+        assert "stored runs" in out
+        for name in ("figure3.txt", "figure3_curves.csv", "figure4.txt",
+                     "figure5.txt", "headline.json"):
+            assert (out_dir / name).is_file()
+        headline = json.loads((out_dir / "headline.json").read_text())
+        assert "optimum_speedup_over_asgd" in headline
+
+
+class TestBench:
+    def test_bench_records_warm_reuse(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_cli.json"
+        code, _, _ = _run(
+            capsys, "bench", "--config", "figures", "--datasets", "news20",
+            "--threads", "4", "--epochs", "2", "--output", str(output),
+            "--store", str(tmp_path / "store"),
+        )
+        assert code == 0
+        result = json.loads(output.read_text())
+        assert result["cold_stats"]["trained"] == result["runs"]
+        assert result["warm_stats"] == {"trained": 0, "reused": result["runs"], "skipped": 0}
+        assert result["warm_seconds"] < result["cold_seconds"]
+
+
+class TestFlagValidation:
+    def test_async_mode_on_serial_solver_is_a_clean_error(self, tmp_path, capsys):
+        code, _, err = _run(
+            capsys, "run", "--dataset", "news20_smoke", "--solver", "sgd",
+            "--async-mode", "batched", "--store", str(tmp_path / "store"),
+        )
+        assert code == 2
+        assert "serial" in err and "sgd" in err
+
+    def test_sweep_smoke_reaches_single_dataset_configs(self, tmp_path, capsys):
+        code, out, _ = _run(
+            capsys, "sweep", "--config", "cluster", "--smoke", "--datasets", "news20",
+            "--threads", "2", "--dry-run", "--store", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "news20_smoke" in out
+        assert "news20 " not in out  # no full-scale run planned
+
+    def test_sweep_rejects_overrides_a_config_cannot_honour(self, tmp_path, capsys):
+        code, _, err = _run(
+            capsys, "sweep", "--config", "ablation", "--threads", "4",
+            "--dry-run", "--store", str(tmp_path / "store"),
+        )
+        assert code == 2
+        assert "does not accept" in err
+
+
+class TestReportOverlappingSweeps:
+    def test_duplicate_combinations_collapse_instead_of_crashing(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        # The same (dataset, solver, workers) combinations under two
+        # execution modes: default per-sample plus explicit batched.
+        assert _run(capsys, *SWEEP, "--store", store)[0] == 0
+        assert _run(capsys, *SWEEP, "--store", store, "--async-mode", "batched")[0] == 0
+        assert len(ArtifactStore(store)) > 4
+
+        out_dir = tmp_path / "results"
+        code, out, err = _run(capsys, "report", "--store", store,
+                              "--out", str(out_dir), "--json")
+        assert code == 0
+        assert "collapsed" in err
+        assert (out_dir / "headline.json").is_file()
+
+    def test_async_mode_preference_selects_that_sweep(self, tmp_path, capsys):
+        from repro.experiments.runner import RecordSet
+
+        store = str(tmp_path / "store")
+        _run(capsys, *SWEEP, "--store", store)
+        _run(capsys, *SWEEP, "--store", store, "--async-mode", "batched")
+
+        records = RecordSet.from_store(store)
+        deduped = records.deduplicated(prefer_async_mode="batched")
+        modes = {r.info.get("async_mode") for r in deduped.records if r.solver != "sgd"}
+        assert modes == {"batched"}
+        assert len(deduped) < len(records)
+
+
+class TestBenchStoreGuard:
+    def test_bench_refuses_a_prepopulated_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert _run(capsys, *SWEEP, "--store", store)[0] == 0
+        code, _, err = _run(
+            capsys, "bench", "--config", "figures", "--datasets", "news20",
+            "--threads", "4", "--epochs", "2",
+            "--output", str(tmp_path / "BENCH_cli.json"), "--store", store,
+        )
+        assert code == 2
+        assert "cold" in err and "empty" in err
+
+
+class TestReportFlagValidation:
+    def test_unknown_async_mode_is_an_error_not_an_empty_report(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert _run(capsys, *SWEEP, "--store", store)[0] == 0
+        code, _, err = _run(capsys, "report", "--store", store,
+                            "--async-mode", "per-sample")
+        assert code == 2
+        assert "unknown async mode" in err
+
+    def test_bench_no_smoke_is_parseable(self):
+        from repro.cli.main import build_parser
+
+        args = build_parser().parse_args(["bench", "--no-smoke"])
+        assert args.smoke is False
+        assert build_parser().parse_args(["bench"]).smoke is True

@@ -107,3 +107,55 @@ class TestClusterScalingConfig:
         kwargs = dict(config.runs[0].solver_kwargs)
         assert kwargs["async_mode"] == "process"
         assert kwargs["shard_scheme"] == "coloring"
+
+
+class TestMakeConfig:
+    """The uniform CLI override namespace must map, not silently drop."""
+
+    def test_alias_spellings_reach_each_builder(self):
+        from repro.experiments.configs import make_config
+
+        figures = make_config("figures", thread_counts=(4,), worker_counts=(4,),
+                              epochs=3, epochs_override=3, smoke=True)
+        assert {r.num_workers for r in figures.runs} <= {1, 4}
+        assert all(r.epochs == 3 for r in figures.runs)
+
+        cluster = make_config("cluster", thread_counts=(2,), worker_counts=(2,),
+                              epochs=3, epochs_override=3)
+        assert {r.num_workers for r in cluster.runs} == {2}
+        assert all(r.epochs == 3 for r in cluster.runs)
+
+    def test_single_datasets_entry_maps_onto_dataset(self):
+        from repro.experiments.configs import make_config
+
+        cluster = make_config("cluster", datasets=["url_smoke"], worker_counts=(2,))
+        assert {r.dataset for r in cluster.runs} == {"url_smoke"}
+
+    def test_multiple_datasets_for_single_dataset_config_is_an_error(self):
+        from repro.experiments.configs import make_config
+
+        with pytest.raises(ValueError, match="single dataset"):
+            make_config("cluster", datasets=["news20", "url"])
+
+    def test_smoke_maps_onto_single_dataset_configs(self):
+        from repro.experiments.configs import make_config
+
+        ablation = make_config("ablation", smoke=True, dataset="kdd_bridge")
+        assert {r.dataset for r in ablation.runs} == {"kdd_bridge_smoke"}
+        # Already-smoke defaults stay untouched.
+        cluster = make_config("cluster", smoke=True, worker_counts=(2,))
+        assert {r.dataset for r in cluster.runs} == {"news20_smoke"}
+
+    def test_unsupported_override_is_an_error_not_a_silent_drop(self):
+        from repro.experiments.configs import make_config
+
+        with pytest.raises(ValueError, match="does not accept"):
+            make_config("ablation", thread_counts=(4,), worker_counts=(4,))
+        with pytest.raises(ValueError, match="does not accept"):
+            make_config("table1", epochs=5, epochs_override=5)
+
+    def test_none_overrides_are_not_given(self):
+        from repro.experiments.configs import make_config
+
+        config = make_config("figures", smoke=None, datasets=None, epochs=None)
+        assert config.name == "figures_3_4_5"

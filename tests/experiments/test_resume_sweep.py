@@ -1,0 +1,143 @@
+"""Acceptance test: an interrupted sweep resumes without re-training.
+
+A real ``python -m repro sweep`` subprocess is killed (SIGKILL — no
+cleanup handlers) once its artifact store holds some completed runs; the
+restarted sweep must recognise every completed artifact by key and train
+only the remainder.  "No re-training" is asserted two ways: the restart
+reports the completed runs as reused, and the artifact files written
+before the kill are byte- and mtime-identical afterwards.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import figure_config
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.store import ArtifactStore
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SWEEP_ARGS = ["--config", "figures", "--smoke", "--datasets", "news20", "url",
+              "--threads", "4", "8", "--epochs", "3"]
+
+
+def _sweep_config():
+    return figure_config(smoke=True, datasets=["news20", "url"],
+                         thread_counts=(4, 8), epochs_override=3)
+
+
+def _spawn_sweep(store: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep", *SWEEP_ARGS, "--store", str(store)],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def test_killed_sweep_resumes_without_retraining(tmp_path):
+    store_dir = tmp_path / "store"
+    total_runs = len(_sweep_config().runs)
+    assert total_runs >= 8  # enough work that the kill lands mid-sweep
+
+    # ---------------------------------------------------------------- kill
+    proc = _spawn_sweep(store_dir)
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if len(ArtifactStore(store_dir).keys()) >= 2 or proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - safety net
+            proc.kill()
+
+    store = ArtifactStore(store_dir)
+    completed = store.keys()
+    assert completed, "sweep produced no artifacts before the kill"
+    # Atomic writes: whatever is on disk must be complete, loadable JSON.
+    # (SIGKILL may land between mkstemp and os.replace, so a stray *.tmp
+    # file is legitimate — the guarantee is that the store never surfaces
+    # one as an artifact, not that none exists.)
+    snapshots = {}
+    for key in completed:
+        store.load(key)
+        path = store.path_for(key)
+        snapshots[key] = (path.read_bytes(), path.stat().st_mtime_ns)
+    assert set(store.keys()) == {p.stem for p in store_dir.glob("*.json")}
+
+    # -------------------------------------------------------------- restart
+    runner = ExperimentRunner(_sweep_config(), store=store_dir)
+    records = runner.run()
+
+    assert len(records) == total_runs
+    assert runner.stats.reused == len(completed), (
+        f"restart re-trained completed runs: {runner.stats.as_dict()}"
+    )
+    assert runner.stats.trained == total_runs - len(completed)
+
+    # The artifacts completed before the kill were not rewritten.
+    for key, (payload, mtime_ns) in snapshots.items():
+        path = store.path_for(key)
+        assert path.stat().st_mtime_ns == mtime_ns, f"artifact {key[:12]} was rewritten"
+        assert path.read_bytes() == payload
+
+    # A third invocation (the CLI this time) is pure reuse.
+    proc = _spawn_sweep(store_dir)
+    out, _ = proc.communicate(timeout=120)
+    assert proc.returncode == 0
+    assert f"0 trained, {total_runs} reused" in out.decode()
+
+
+def test_interrupted_pooled_sweep_keeps_completed_artifacts(tmp_path, monkeypatch):
+    """Pooled scheduling saves artifacts per completion, not at sweep end."""
+    import repro.cluster.driver as driver
+
+    monkeypatch.setattr(driver, "available_parallelism", lambda: 4)
+    store_dir = tmp_path / "store"
+    config = _sweep_config()
+
+    class Boom(RuntimeError):
+        pass
+
+    # Let two runs complete, then blow up inside the save hook to simulate
+    # a mid-sweep crash of the parent process.
+    runner = ExperimentRunner(config, store=store_dir)
+    saved = []
+    original = runner._store_record
+
+    def failing_store(key, identity, record):
+        if len(saved) >= 2:
+            raise Boom()
+        original(key, identity, record)
+        saved.append(key)
+
+    monkeypatch.setattr(runner, "_store_record", failing_store)
+    with pytest.raises(Boom):
+        runner.run(jobs=2)
+
+    store = ArtifactStore(store_dir)
+    assert sorted(store.keys()) == sorted(saved)
+    for key in saved:
+        store.load(key)  # complete, loadable artifacts
+
+    # Resume: exactly the saved runs are reused.
+    resumed = ExperimentRunner(config, store=store_dir)
+    resumed.run()
+    assert resumed.stats.reused == len(saved)
+    assert resumed.stats.trained == len(config.runs) - len(saved)

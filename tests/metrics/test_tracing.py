@@ -48,3 +48,62 @@ class TestRunRecord:
         record.trace = None
         s = record.summary()
         assert "conflict_rate" not in s
+
+
+class TestRunRecordSerialization:
+    """JSON round-trips of the full run record (the artifact-store format)."""
+
+    def test_round_trip_preserves_everything(self):
+        import json
+
+        record = _record()
+        payload = json.loads(json.dumps(record.to_dict()))
+        clone = RunRecord.from_dict(payload)
+        assert clone.solver == record.solver
+        assert clone.dataset == record.dataset
+        assert clone.num_workers == record.num_workers
+        assert clone.curve.as_dict() == record.curve.as_dict()
+        assert clone.trace.epochs == record.trace.epochs
+        assert clone.info["rho"] == pytest.approx(0.1)
+        assert clone.info["nested"] == {"ignored": 1}
+
+    def test_measured_wall_clock_axis_round_trips(self):
+        # The process-cluster tier stores a *measured* time axis on the
+        # curve; serialization must keep it bit-equal.
+        record = _record()
+        record.info["measured_train_seconds"] = 1.2345678901234567
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone.curve.wall_clock == record.curve.wall_clock
+        assert clone.info["measured_train_seconds"] == record.info["measured_train_seconds"]
+
+    def test_history_overflows_round_trip(self):
+        record = _record()
+        record.trace.epochs[0].history_overflows = 11
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone.trace.epochs[0].history_overflows == 11
+        assert clone.trace.total_history_overflows == 11
+
+    def test_numpy_info_values_coerced(self):
+        import numpy as np
+
+        record = _record()
+        record.info["np_float"] = np.float64(0.5)
+        record.info["np_int"] = np.int64(7)
+        record.info["np_array"] = np.arange(3.0)
+        payload = record.to_dict()
+        assert payload["info"]["np_float"] == 0.5
+        assert payload["info"]["np_int"] == 7
+        assert payload["info"]["np_array"] == [0.0, 1.0, 2.0]
+
+    def test_unserializable_info_dropped_loudly(self):
+        record = _record()
+        record.info["live_object"] = object()
+        payload = record.to_dict()
+        assert "live_object" not in payload["info"]
+        assert payload["_dropped_info"] == ["live_object"]
+
+    def test_traceless_record_round_trips(self):
+        record = _record()
+        record.trace = None
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone.trace is None

@@ -19,6 +19,12 @@ Checks performed:
 3. **Example smoke** — the runnable examples listed in
    :data:`SMOKE_EXAMPLES` are executed the same way, so the documented
    entry points cannot rot silently.
+4. **Executable doc pages** — every ``bash`` block of the pages listed in
+   :data:`EXECUTABLE_DOC_PAGES` (the CLI/experiments walkthroughs) is
+   executed in order, same harness as the quickstart.
+5. **Reference freshness** — ``docs/reference.md`` is regenerated from the
+   live registries (``tools/gen_reference.py --check``) and must match the
+   committed page byte-for-byte.
 """
 
 from __future__ import annotations
@@ -37,6 +43,21 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SMOKE_EXAMPLES: list[tuple[str, list[str]]] = [
     ("examples/quickstart.py", ["--epochs", "3", "--workers", "4"]),
     ("examples/dataset_statistics.py", []),
+    # Artifact-store-backed figure reproduction, restricted to one tiny
+    # dataset; the second invocation must be pure artifact reuse.
+    ("examples/reproduce_figures.py",
+     ["--datasets", "news20", "--threads", "4", "--epochs", "2",
+      "--out", "/tmp/repro-docs-figures", "--fresh"]),
+    ("examples/reproduce_figures.py",
+     ["--datasets", "news20", "--threads", "4", "--epochs", "2",
+      "--out", "/tmp/repro-docs-figures", "--expect-cached"]),
+]
+
+#: Doc pages whose ``bash`` blocks are executed in order (same harness as
+#: the README quickstart) — the self-verifying walkthroughs.
+EXECUTABLE_DOC_PAGES: list[str] = [
+    "docs/experiments.md",
+    "docs/cli.md",
 ]
 
 #: Markdown inline links: [text](target) — images share the syntax.
@@ -102,23 +123,56 @@ def run_examples() -> list[str]:
     return failures
 
 
-def run_quickstart() -> list[str]:
-    """Execute the quickstart blocks; return failure descriptions."""
-    blocks = quickstart_blocks()
-    if not blocks:
-        return ["README.md: no bash block found under '## Quickstart'"]
+def _run_bash_blocks(blocks: list[str], origin: str) -> list[str]:
+    """Execute bash blocks from ``origin``; return failure descriptions."""
     env = _src_env()
     failures: list[str] = []
     for i, block in enumerate(blocks, 1):
-        print(f"--- quickstart block {i}/{len(blocks)} ---")
+        print(f"--- {origin} block {i}/{len(blocks)} ---")
         proc = subprocess.run(
             ["bash", "-euo", "pipefail", "-c", block],
             cwd=REPO_ROOT,
             env=env,
         )
         if proc.returncode != 0:
-            failures.append(f"README.md quickstart block {i} exited with {proc.returncode}")
+            failures.append(f"{origin} block {i} exited with {proc.returncode}")
     return failures
+
+
+def run_quickstart() -> list[str]:
+    """Execute the quickstart blocks; return failure descriptions."""
+    blocks = quickstart_blocks()
+    if not blocks:
+        return ["README.md: no bash block found under '## Quickstart'"]
+    return _run_bash_blocks(blocks, "README.md quickstart")
+
+
+def run_doc_pages() -> list[str]:
+    """Execute every bash block of the executable doc pages, in order."""
+    failures: list[str] = []
+    for page in EXECUTABLE_DOC_PAGES:
+        path = REPO_ROOT / page
+        if not path.exists():
+            failures.append(f"{page}: executable doc page missing")
+            continue
+        blocks = [body for lang, body in FENCE_RE.findall(path.read_text()) if lang == "bash"]
+        if not blocks:
+            failures.append(f"{page}: no bash blocks found (page should be executable)")
+            continue
+        failures += _run_bash_blocks(blocks, page)
+    return failures
+
+
+def check_reference_freshness() -> list[str]:
+    """``docs/reference.md`` must match the registries byte-for-byte."""
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "gen_reference.py"), "--check"],
+        cwd=REPO_ROOT,
+        env=_src_env(),
+    )
+    if proc.returncode != 0:
+        return ["docs/reference.md is stale (run `python tools/gen_reference.py`)"]
+    return []
 
 
 def main() -> int:
@@ -139,12 +193,16 @@ def main() -> int:
         print(f"Link check OK ({checked})")
 
     if not args.links_only:
+        problems += check_reference_freshness()
         problems += run_quickstart()
+        problems += run_doc_pages()
         if not args.skip_examples:
             problems += run_examples()
 
     if problems:
-        print(f"\n{len(problems)} documentation problem(s).", file=sys.stderr)
+        print(f"\n{len(problems)} documentation problem(s):", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
         return 1
     print("Documentation checks passed.")
     return 0

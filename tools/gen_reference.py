@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Generate ``docs/reference.md`` from the live registries.
+
+The reference page lists every solver, objective, kernel backend, async
+execution mode, experiment configuration and dataset the registries
+expose — name, one-line docstring and accepted keyword arguments — so it
+cannot drift from the code: CI regenerates the page and fails when the
+committed copy differs byte-for-byte.
+
+Usage::
+
+    python tools/gen_reference.py           # (re)write docs/reference.md
+    python tools/gen_reference.py --check   # exit 1 when the page is stale
+    python tools/gen_reference.py --stdout  # print instead of writing
+"""
+
+from __future__ import annotations
+
+import argparse
+import enum
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+REFERENCE_PATH = REPO_ROOT / "docs" / "reference.md"
+
+HEADER = """\
+# API reference (generated)
+
+<!-- GENERATED FILE - DO NOT EDIT.
+     Regenerate with `python tools/gen_reference.py`;
+     CI runs `python tools/gen_reference.py --check` and fails on drift. -->
+
+Every name below is live registry state: solvers from
+`repro.solvers.registry`, objectives from `repro.objectives.registry`,
+kernel backends from `repro.kernels.registry`, async modes from
+`repro.async_engine.modes`, experiment configurations from
+`repro.experiments.configs` and datasets from `repro.datasets.catalog`.
+Pass the names to `python -m repro` (see [cli.md](cli.md)) or to the
+corresponding `make_*` factory.
+"""
+
+
+def _doc_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return "(no docstring)"
+
+
+def _fmt_default(value) -> str:
+    if isinstance(value, enum.Enum):
+        return repr(value.value)
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+def _signature_kwargs(callable_obj) -> str:
+    """Render the keyword arguments of a callable, deterministically."""
+    params = []
+    for param in inspect.signature(callable_obj).parameters.values():
+        if param.name == "self":
+            continue
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            params.append(f"*{param.name}")
+        elif param.kind is inspect.Parameter.VAR_KEYWORD:
+            params.append(f"**{param.name}")
+        elif param.default is inspect.Parameter.empty:
+            params.append(param.name)
+        else:
+            params.append(f"{param.name}={_fmt_default(param.default)}")
+    return ", ".join(params)
+
+
+def _solvers_section() -> list[str]:
+    from repro.solvers.registry import available_solvers, solver_class
+
+    lines = ["## Solvers", "", "`make_solver(name, **kwargs)` — serial solvers ignore",
+             "`num_workers`; every solver accepts `kernel=` (backend name).", ""]
+    for name in available_solvers():
+        cls = solver_class(name)
+        lines.append(f"### `{name}`")
+        lines.append("")
+        lines.append(_doc_line(cls))
+        lines.append("")
+        lines.append(f"- class: `{cls.__module__}.{cls.__qualname__}`")
+        lines.append(f"- kwargs: `{_signature_kwargs(cls.__init__)}`")
+        lines.append("")
+    return lines
+
+
+def _objectives_section() -> list[str]:
+    from repro.objectives.registry import available_objectives, make_objective
+
+    lines = ["## Objectives", "",
+             "`make_objective(name, eta=...)` — `eta` is the regulariser",
+             "strength (ignored by unregularised variants).", "",
+             "| name | class | regulariser | description |",
+             "| --- | --- | --- | --- |"]
+    for name in available_objectives():
+        obj = make_objective(name)
+        reg = type(obj.regularizer).__name__
+        lines.append(
+            f"| `{name}` | `{type(obj).__name__}` | `{reg}` | {_doc_line(type(obj))} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _kernels_section() -> list[str]:
+    from repro.kernels.registry import DEFAULT_BACKEND, available_backends, make_backend
+
+    lines = ["## Kernel backends", "",
+             "Selected per call (`kernel=`), per process "
+             "(`set_default_backend`) or via `REPRO_KERNEL_BACKEND`.", "",
+             "| name | class | description |", "| --- | --- | --- |"]
+    for name in available_backends():
+        backend = make_backend(name)
+        marker = " (default)" if name == DEFAULT_BACKEND else ""
+        lines.append(
+            f"| `{name}`{marker} | `{type(backend).__name__}` | {_doc_line(type(backend))} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _async_modes_section() -> list[str]:
+    from repro.async_engine.modes import (
+        DEFAULT_ASYNC_MODE,
+        async_mode_description,
+        available_async_modes,
+    )
+
+    lines = ["## Async execution modes", "",
+             "Selected per solver (`async_mode=`), per process "
+             "(`set_default_async_mode`) or via `REPRO_ASYNC_MODE`.", "",
+             "| name | description |", "| --- | --- |"]
+    for name in available_async_modes():
+        marker = " (default)" if name == DEFAULT_ASYNC_MODE else ""
+        lines.append(f"| `{name}`{marker} | {async_mode_description(name)} |")
+    lines.append("")
+    return lines
+
+
+def _configs_section() -> list[str]:
+    from repro.experiments.configs import _CONFIG_BUILDERS, available_configs
+
+    lines = ["## Experiment configurations", "",
+             "`make_config(name, **overrides)` / `python -m repro sweep --config <name>`.",
+             ""]
+    for name in available_configs():
+        builder = _CONFIG_BUILDERS[name]
+        lines.append(f"### `{name}`")
+        lines.append("")
+        lines.append(_doc_line(builder))
+        lines.append("")
+        lines.append(f"- overrides: `{_signature_kwargs(builder)}`")
+        lines.append("")
+    return lines
+
+
+def _datasets_section() -> list[str]:
+    from repro.datasets.catalog import get_descriptor, list_datasets
+
+    lines = ["## Datasets", "",
+             "Surrogates of the paper's four datasets; every name has a "
+             "`*_smoke` variant at test-suite scale.", "",
+             "| name | step size λ | epochs | surrogate size | description |",
+             "| --- | --- | --- | --- | --- |"]
+    for name in list_datasets(include_smoke=True):
+        desc = get_descriptor(name)
+        spec = desc.surrogate
+        size = f"{spec.n_samples}×{spec.n_features}"
+        lines.append(
+            f"| `{name}` | {desc.step_size} | {desc.epochs} | {size} | {desc.description} |"
+        )
+    lines.append("")
+    return lines
+
+
+def generate() -> str:
+    """The full reference page as markdown text."""
+    sections = [
+        HEADER.splitlines(),
+        _solvers_section(),
+        _objectives_section(),
+        _kernels_section(),
+        _async_modes_section(),
+        _configs_section(),
+        _datasets_section(),
+    ]
+    lines: list[str] = []
+    for section in sections:
+        if lines and lines[-1] != "":
+            lines.append("")
+        lines.extend(section)
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed page; exit 1 on drift")
+    parser.add_argument("--stdout", action="store_true", help="print instead of writing")
+    args = parser.parse_args()
+
+    text = generate()
+    if args.stdout:
+        sys.stdout.write(text)
+        return 0
+    if args.check:
+        committed = REFERENCE_PATH.read_text() if REFERENCE_PATH.exists() else None
+        if committed != text:
+            print(
+                f"{REFERENCE_PATH.relative_to(REPO_ROOT)} is stale; "
+                "regenerate with `python tools/gen_reference.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{REFERENCE_PATH.relative_to(REPO_ROOT)} is up to date.")
+        return 0
+    REFERENCE_PATH.write_text(text)
+    print(f"wrote {REFERENCE_PATH.relative_to(REPO_ROOT)} ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
