@@ -32,10 +32,13 @@ from repro.objectives import (
     SquaredHingeObjective,
     make_objective,
 )
+from repro.rules import UpdateRuleKernel, available_rules, make_rule
+from repro.runtime import ExecutionRequest, ExecutionResult, capability_matrix
 from repro.solvers import (
     ASGDSolver,
     ISSGDSolver,
     Problem,
+    SAGAASGDSolver,
     SAGASolver,
     SGDSolver,
     SVRGASGDSolver,
@@ -80,7 +83,15 @@ __all__ = [
     "SAGASolver",
     "ASGDSolver",
     "SVRGASGDSolver",
+    "SAGAASGDSolver",
     "make_solver",
+    # runtime (rules × backends)
+    "UpdateRuleKernel",
+    "available_rules",
+    "make_rule",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "capability_matrix",
     # engine
     "CostModel",
     # cluster (true multi-process execution)

@@ -59,6 +59,7 @@ from repro.async_engine.staleness import StalenessModel, UniformDelay
 from repro.async_engine.worker import SimulatedWorker
 from repro.kernels.base import KernelBackend
 from repro.kernels.registry import resolve_backend
+from repro.runtime.trace_fold import build_schedule, fold_block
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import segment_bool_any
 from repro.utils.rng import RandomState, as_rng
@@ -178,14 +179,16 @@ class BatchedSimulator:
         Materialise per-iteration events (tests only).
     epoch_begin / epoch_end:
         Optional hooks ``(simulator, epoch, event)`` invoked around every
-        epoch — SVRG-style solvers compute snapshots/full gradients and fold
-        their sync costs into the epoch event here.
+        epoch; when omitted they default to the update rule's own
+        ``epoch_begin``/``epoch_end`` (SVRG's snapshot sync, SAGA's table
+        build), exactly as :class:`AsyncSimulator` wires them.
     epoch_callback:
         Optional ``(epoch_index, model_snapshot)`` callable, as on
         :class:`AsyncSimulator`.
     count_sample_draws:
         Whether each iteration counts as one weighted sample draw in the
-        trace (True for ASGD-style solvers, False for SVRG's inner loop).
+        trace (True for ASGD-style solvers, False for VR inner loops);
+        ``None`` defers to the rule's ``counts_sample_draws`` metadata.
     """
 
     X: CSRMatrix
@@ -200,7 +203,7 @@ class BatchedSimulator:
     epoch_begin: Optional[Callable[["BatchedSimulator", int, EpochEvent], None]] = None
     epoch_end: Optional[Callable[["BatchedSimulator", int, EpochEvent], None]] = None
     epoch_callback: Optional[Callable[[int, np.ndarray], None]] = None
-    count_sample_draws: bool = True
+    count_sample_draws: Optional[bool] = None
     #: Bounded-history override mirroring ``AsyncSimulator.history`` — the
     #: replay clamps and counts ``history_overflows`` with the identical
     #: window arithmetic, so traces stay bit-equal under an override too.
@@ -220,6 +223,14 @@ class BatchedSimulator:
         elif int(self.batch_size) < 1:
             raise ValueError("batch_size must be a positive int or 'auto'")
         self.kernel = resolve_backend(self.kernel)
+        if self.count_sample_draws is None:
+            self.count_sample_draws = bool(
+                getattr(self.update_rule, "counts_sample_draws", True)
+            )
+        if self.epoch_begin is None:
+            self.epoch_begin = getattr(self.update_rule, "epoch_begin", None)
+        if self.epoch_end is None:
+            self.epoch_end = getattr(self.update_rule, "epoch_end", None)
         self._w: Optional[np.ndarray] = None
         self._log: Optional[_RecordLog] = None
         self._maxlen = 0
@@ -240,6 +251,11 @@ class BatchedSimulator:
         if self._w is None:
             raise RuntimeError("weights are only available while run() is active")
         return self._w
+
+    @property
+    def inner_iterations(self) -> int:
+        """Inner iterations per epoch (all workers combined)."""
+        return sum(w.iterations_per_epoch for w in self.workers)
 
     def resolved_batch_size(self) -> int:
         """The macro-step length actually used."""
@@ -328,10 +344,7 @@ class BatchedSimulator:
             if epoch > 0:
                 for worker in self.workers:
                     worker.start_epoch(reshuffle=reshuffle, regenerate=regenerate)
-            schedule = np.concatenate(
-                [np.full(wk.iterations_per_epoch, wk.worker_id, dtype=np.int64) for wk in self.workers]
-            )
-            self._rng.shuffle(schedule)
+            schedule = build_schedule(self.workers, self._rng)
 
             # Vectorized worker bookkeeping: each worker hands over its
             # scheduled samples for the whole epoch in one slice, placed at
@@ -436,16 +449,16 @@ class BatchedSimulator:
 
         # The per-sample engine prices a dense update at the full dimension
         # (SharedModel.apply_dense_update touches every coordinate).
-        dense_per_iter = int(dense.shape[0]) if dense is not None else 0
-        event.merge_bulk(
+        fold_block(
+            event,
+            rule,
             iterations=n_iter,
-            grad_nnz=rule.grad_nnz_multiplier * int(lengths.sum()),
-            dense_coords=dense_per_iter * n_iter,
+            support_nnz=int(lengths.sum()),
             conflicts=int(conflicts.sum()),
-            sample_draws=n_iter if self.count_sample_draws else 0,
-            stale_reads=int(np.count_nonzero(delays > 0)),
-            max_delay=int(delays.max(initial=0)),
+            delays=delays,
             history_overflows=overflows,
+            dense_coords_per_iteration=int(dense.shape[0]) if dense is not None else 0,
+            count_sample_draws=self.count_sample_draws,
         )
         if self.record_iterations and trace.iterations is not None:
             for k in range(n_iter):

@@ -1,38 +1,32 @@
-"""Async execution-mode registry (mirrors ``kernels/registry.py``).
+"""Async execution-mode resolution (thin shim over :mod:`repro.runtime`).
 
-The asynchronous solvers can run their execution through four engines:
-
-* ``"per_sample"`` — the original :class:`~repro.async_engine.simulator.AsyncSimulator`
-  (one Python-level iteration per update); it is the *ground truth* the
-  batched engine is pinned against, exactly as the ``reference`` kernel
-  backend anchors the ``vectorized`` one.
-* ``"batched"`` — the :class:`~repro.async_engine.batched.BatchedSimulator`
-  macro-step fast path dispatching through the kernel backend's batch
-  primitives.
-* ``"threads"`` — the real lock-free :mod:`repro.async_engine.threads`
-  backend: genuine unsynchronised updates from Python threads (functional
-  validation; the GIL prevents real speedup).
-* ``"process"`` — the :mod:`repro.cluster` tier: true multi-process
-  workers over a sharded ``multiprocessing.shared_memory`` parameter
-  server, with *measured* wall-clock/staleness/conflict accounting.  The
-  only mode whose throughput scales with physical cores.
-
-The simulated modes are deterministic given a seed; ``threads`` and
-``process`` are real concurrent executions (scheduling decides the
-interleaving), validated by tolerance rather than trace equality.
-
-The active mode is resolved in priority order:
+The execution backends themselves — their registry, capability metadata and
+the dispatch that runs a request — live in
+:mod:`repro.runtime.backends`; this module keeps the historical
+``async_mode`` *resolution* surface that solvers, the CLI and the
+experiment configs consume:
 
 1. an explicit ``async_mode`` argument passed to a solver;
 2. the process-wide default set via :func:`set_default_async_mode`;
 3. the ``REPRO_ASYNC_MODE`` environment variable;
 4. the built-in default, ``"per_sample"`` (trace-exact ground truth).
+
+Mode names and their one-line descriptions are sourced from the backend
+registry, so registering a new backend there automatically surfaces it
+here (and in ``python -m repro list`` / ``docs/reference.md``).
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+from collections.abc import Mapping
+from typing import Iterator, List, Optional
+
+from repro.runtime.backends import (
+    available_backend_names,
+    backend_capabilities,
+    get_backend,
+)
 
 #: Environment variable consulted when no explicit mode is configured.
 ASYNC_MODE_ENV_VAR = "REPRO_ASYNC_MODE"
@@ -40,28 +34,46 @@ ASYNC_MODE_ENV_VAR = "REPRO_ASYNC_MODE"
 #: The built-in default execution mode.
 DEFAULT_ASYNC_MODE = "per_sample"
 
-_MODES = ("per_sample", "batched", "threads", "process")
+
+class _ModeDescriptions(Mapping):
+    """Live read-only view of the backend registry's descriptions.
+
+    A mapping (not a snapshot) so a backend registered at runtime through
+    :func:`repro.runtime.register_backend` appears here immediately.
+    """
+
+    def __getitem__(self, mode: str) -> str:
+        try:
+            return backend_capabilities(mode).description
+        except ValueError:
+            # Mapping contract: `in` / `.get(default)` rely on KeyError.
+            raise KeyError(mode) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(available_backend_names())
+
+    def __len__(self) -> int:
+        return len(available_backend_names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(dict(self))
+
 
 #: One-line description per mode (surfaced by ``python -m repro list`` and
-#: the generated ``docs/reference.md``).
-MODE_DESCRIPTIONS = {
-    "per_sample": "trace-exact ground-truth simulator, one Python iteration per update",
-    "batched": "macro-step fast path through the kernel batch primitives (trace bit-equal)",
-    "threads": "real lock-free Python threads (functional validation; GIL-bound)",
-    "process": "multi-process sharded parameter server with measured wall-clock",
-}
+#: the generated ``docs/reference.md``); mirrors the backend capabilities.
+MODE_DESCRIPTIONS = _ModeDescriptions()
 
 _default_override: Optional[str] = None
 
 
 def available_async_modes() -> List[str]:
     """Mode names accepted by :func:`resolve_async_mode`."""
-    return list(_MODES)
+    return available_backend_names()
 
 
 def async_mode_description(mode: str) -> str:
     """One-line description of a mode (for registries and generated docs)."""
-    return MODE_DESCRIPTIONS.get(_validate(mode), "")
+    return backend_capabilities(_validate(mode)).description
 
 
 def default_async_mode() -> str:
@@ -88,10 +100,7 @@ def resolve_async_mode(mode: Optional[str]) -> str:
 
 
 def _validate(mode: str) -> str:
-    if mode not in _MODES:
-        raise ValueError(
-            f"unknown async mode {mode!r}; available: {', '.join(_MODES)}"
-        )
+    get_backend(mode)  # raises with the list of valid modes
     return mode
 
 

@@ -12,16 +12,21 @@ Each iteration:
 4. the update rule computes the index-compressed (plus optionally dense)
    update from the stale view;
 5. the update is applied atomically to the shared model and the conflict /
-   operation counters are folded into the epoch trace.
+   operation counters are folded into the epoch trace through
+   :mod:`repro.runtime.trace_fold`.
 
-The simulator is solver-agnostic: ASGD, IS-ASGD and SVRG-ASGD all plug in
-through the :class:`UpdateRule` protocol.
+The simulator is solver-agnostic: it executes any
+:class:`~repro.rules.base.UpdateRuleKernel` (or any object satisfying the
+:class:`UpdateRule` protocol) through the rule's scalar entry point, and
+invokes the rule's epoch hooks around every epoch — SVRG's snapshot sync
+and SAGA's table initialisation run here without the simulator knowing
+either rule exists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,12 +34,21 @@ from repro.async_engine.events import EpochEvent, ExecutionTrace, IterationEvent
 from repro.async_engine.shared_model import SharedModel
 from repro.async_engine.staleness import StalenessModel, UniformDelay
 from repro.async_engine.worker import SimulatedWorker
+from repro.kernels.base import KernelBackend
+from repro.kernels.registry import resolve_backend
+from repro.runtime.trace_fold import build_schedule, fold_iteration
 from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import RandomState, as_rng
 
 
 class UpdateRule(Protocol):
-    """Computes one model update from a (possibly stale) coordinate view."""
+    """Computes one model update from a (possibly stale) coordinate view.
+
+    :class:`~repro.rules.base.UpdateRuleKernel` satisfies this protocol via
+    its derived scalar entry point; ad-hoc rules only need
+    ``compute_update`` (and may expose ``dense_delta`` /
+    ``grad_nnz_multiplier`` / epoch hooks for the richer behaviours).
+    """
 
     def compute_update(
         self,
@@ -43,16 +57,17 @@ class UpdateRule(Protocol):
         x_val: np.ndarray,
         y: float,
         step_weight: float,
+        row: int = 0,
     ) -> Tuple[np.ndarray, int]:
         """Return ``(delta_values, dense_coordinate_count)``.
 
         ``delta_values`` are the additive changes for the coordinates
         ``x_idx`` (already scaled by the step size and importance weight);
         ``dense_coordinate_count`` is the number of *additional* dense
-        coordinates the real algorithm would have touched this iteration
-        (zero for SGD-style updates, ``d`` for SVRG-style updates) — it
-        feeds the cost model but is not applied to the simulated model
-        unless the rule also implements ``dense_update``.
+        coordinates the iteration touched.  When it is non-zero and the
+        rule exposes a non-``None`` ``dense_delta`` vector, the simulator
+        applies that dense update (before the sparse one) and logs it as
+        its own update record.
         """
         ...
 
@@ -83,6 +98,13 @@ class AsyncSimulator:
         Delay model; defaults to ``UniformDelay(num_workers)``.
     seed:
         Seed for the scheduler interleaving and delay draws.
+    kernel:
+        Kernel backend handed to rule epoch hooks (snapshot margins, table
+        initialisation); instance, registry name or ``None`` for the
+        configured default.
+    count_sample_draws:
+        Whether each iteration counts as one weighted sample draw in the
+        trace; ``None`` defers to the rule's ``counts_sample_draws``.
     record_iterations:
         Keep per-iteration events (memory-heavy; tests only).
     epoch_callback:
@@ -104,9 +126,10 @@ class AsyncSimulator:
     update_rule: UpdateRule
     staleness: Optional[StalenessModel] = None
     seed: RandomState = 0
+    kernel: Union[KernelBackend, str, None] = None
+    count_sample_draws: Optional[bool] = None
     record_iterations: bool = False
     epoch_callback: Optional[Callable[[int, np.ndarray], None]] = None
-    dense_rule_applies_full_vector: bool = False
     history: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -117,11 +140,38 @@ class AsyncSimulator:
         self._rng = as_rng(self.seed)
         if self.staleness is None:
             self.staleness = UniformDelay(max(len(self.workers) - 1, 0))
+        self.kernel = resolve_backend(self.kernel)
+        if self.count_sample_draws is None:
+            self.count_sample_draws = bool(
+                getattr(self.update_rule, "counts_sample_draws", True)
+            )
+        self._model: Optional[SharedModel] = None
 
     @property
     def num_workers(self) -> int:
         """Number of simulated workers."""
         return len(self.workers)
+
+    # ------------------------------------------------------------------ #
+    # EngineFacade surface (rule epoch hooks)
+    # ------------------------------------------------------------------ #
+    @property
+    def weights(self) -> np.ndarray:
+        """Snapshot of the live model (hooks may read it)."""
+        if self._model is None:
+            raise RuntimeError("weights are only available while run() is active")
+        return self._model.snapshot()
+
+    @property
+    def inner_iterations(self) -> int:
+        """Inner iterations per epoch (all workers combined)."""
+        return sum(w.iterations_per_epoch for w in self.workers)
+
+    def apply_dense_update(self, delta: np.ndarray, *, worker_id: int = -1) -> None:
+        """Apply ``w += delta`` as one logged dense update record."""
+        if self._model is None:
+            raise RuntimeError("apply_dense_update is only valid while run() is active")
+        self._model.apply_dense_update(delta, worker_id=worker_id)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -154,71 +204,80 @@ class AsyncSimulator:
         else:
             history = max(self.staleness.max_delay, 1) * max(self.num_workers, 1)
         model = SharedModel(self.X.n_cols, history=min(history, 4096), initial=initial_weights)
+        self._model = model
+        rule = self.update_rule
+        epoch_begin = getattr(rule, "epoch_begin", None)
+        epoch_end = getattr(rule, "epoch_end", None)
 
         trace = ExecutionTrace(iterations=[] if self.record_iterations else None)
         epoch_weights: List[np.ndarray] = []
         global_step = 0
 
-        for epoch in range(epochs):
-            event = EpochEvent(epoch=epoch)
-            if epoch > 0:
-                for worker in self.workers:
-                    worker.start_epoch(reshuffle=reshuffle, regenerate=regenerate)
-            # Build the interleaving: every worker contributes its per-epoch
-            # iterations; the order is a random interleaving which models the
-            # unpredictable scheduling of lock-free threads.
-            schedule = np.concatenate(
-                [np.full(w.iterations_per_epoch, w.worker_id, dtype=np.int64) for w in self.workers]
-            )
-            self._rng.shuffle(schedule)
-            worker_by_id = {w.worker_id: w for w in self.workers}
+        try:
+            for epoch in range(epochs):
+                event = EpochEvent(epoch=epoch)
+                if epoch_begin is not None:
+                    epoch_begin(self, epoch, event)
+                if epoch > 0:
+                    for worker in self.workers:
+                        worker.start_epoch(reshuffle=reshuffle, regenerate=regenerate)
+                schedule = build_schedule(self.workers, self._rng)
+                worker_by_id = {w.worker_id: w for w in self.workers}
 
-            for wid in schedule:
-                worker = worker_by_id[int(wid)]
-                global_row, _local, step_weight = worker.next_sample()
-                x_idx, x_val = self.X.row(global_row)
-                delay = self.staleness.draw(self._rng)
-                overflow_before = model.history_overflow
-                stale_coords, conflicts = model.read_stale(
-                    x_idx, delay, writer_id=worker.worker_id
-                )
-                overflowed = model.history_overflow - overflow_before
-                delta_values, dense_coords = self.update_rule.compute_update(
-                    stale_coords, x_idx, x_val, float(self.y[global_row]), step_weight
-                )
-                if self.dense_rule_applies_full_vector and dense_coords:
-                    dense_delta = getattr(self.update_rule, "last_dense_delta", None)
-                    if dense_delta is not None:
-                        model.apply_dense_update(dense_delta, worker_id=worker.worker_id)
-                model.apply_update(x_idx, delta_values, worker_id=worker.worker_id)
-
-                event.merge_iteration(
-                    grad_nnz=int(x_idx.size),
-                    dense_coords=int(dense_coords),
-                    conflicts=conflicts,
-                    delay=delay,
-                    history_overflow=overflowed,
-                )
-                if self.record_iterations and trace.iterations is not None:
-                    trace.iterations.append(
-                        IterationEvent(
-                            global_step=global_step,
-                            worker_id=worker.worker_id,
-                            sample_index=global_row,
-                            delay=delay,
-                            conflicts=conflicts,
-                            grad_nnz=int(x_idx.size),
-                            step_scale=step_weight,
-                        )
+                for wid in schedule:
+                    worker = worker_by_id[int(wid)]
+                    global_row, _local, step_weight = worker.next_sample()
+                    x_idx, x_val = self.X.row(global_row)
+                    delay = self.staleness.draw(self._rng)
+                    overflow_before = model.history_overflow
+                    stale_coords, conflicts = model.read_stale(
+                        x_idx, delay, writer_id=worker.worker_id
                     )
-                global_step += 1
+                    overflowed = model.history_overflow - overflow_before
+                    delta_values, dense_coords = rule.compute_update(
+                        stale_coords, x_idx, x_val, float(self.y[global_row]), step_weight,
+                        row=global_row,
+                    )
+                    if dense_coords:
+                        dense_delta = getattr(rule, "dense_delta", None)
+                        if dense_delta is not None:
+                            model.apply_dense_update(dense_delta, worker_id=worker.worker_id)
+                    model.apply_update(x_idx, delta_values, worker_id=worker.worker_id)
 
-            trace.add_epoch(event)
-            snapshot = model.snapshot()
-            if keep_epoch_weights:
-                epoch_weights.append(snapshot)
-            if self.epoch_callback is not None:
-                self.epoch_callback(epoch, snapshot)
+                    fold_iteration(
+                        event,
+                        rule,
+                        nnz=int(x_idx.size),
+                        dense_coords=int(dense_coords),
+                        conflicts=conflicts,
+                        delay=delay,
+                        drew_sample=self.count_sample_draws,
+                        history_overflow=overflowed,
+                    )
+                    if self.record_iterations and trace.iterations is not None:
+                        trace.iterations.append(
+                            IterationEvent(
+                                global_step=global_step,
+                                worker_id=worker.worker_id,
+                                sample_index=global_row,
+                                delay=delay,
+                                conflicts=conflicts,
+                                grad_nnz=int(x_idx.size),
+                                step_scale=step_weight,
+                            )
+                        )
+                    global_step += 1
+
+                if epoch_end is not None:
+                    epoch_end(self, epoch, event)
+                trace.add_epoch(event)
+                snapshot = model.snapshot()
+                if keep_epoch_weights:
+                    epoch_weights.append(snapshot)
+                if self.epoch_callback is not None:
+                    self.epoch_callback(epoch, snapshot)
+        finally:
+            self._model = None
 
         return SimulationResult(
             weights=model.snapshot(),

@@ -7,8 +7,14 @@ of the workers, so this backend demonstrates *correctness* (the solvers
 tolerate truly interleaved, unsynchronised updates) rather than speed; the
 performance side of the paper is reproduced by the simulator + cost model.
 
-The implementation releases the GIL as often as NumPy allows (vector ops on
-the sample support) and keeps the per-iteration Python overhead minimal.
+Since the runtime refactor the inner loop is rule-driven: every iteration
+goes through the scalar entry point of a
+:class:`~repro.rules.base.UpdateRuleKernel`, so the threaded tier executes
+the *same* coefficient/step math as the simulated and cluster tiers — SGD,
+IS-SGD, SVRG (incl. the skip-µ ablation) and SAGA all run here through one
+definition.  :class:`ThreadedRuleEngine` wraps the pool with the epoch
+machinery the runtime backends need: rule epoch hooks (SVRG's sync step,
+SAGA's table build), trace estimation and per-epoch weight snapshots.
 """
 
 from __future__ import annotations
@@ -19,9 +25,11 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.async_engine.events import EpochEvent, ExecutionTrace
 from repro.core.partition import Partition
 from repro.core.sampler import SampleSequence
 from repro.objectives.base import Objective
+from repro.runtime.trace_fold import fold_block
 from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import RandomState, as_rng, spawn_rngs
 
@@ -36,7 +44,7 @@ class HogwildWorkerStats:
 
 
 class HogwildThreadPool:
-    """Lock-free multi-threaded SGD executor over a shared weight buffer.
+    """Lock-free multi-threaded executor over a shared weight buffer.
 
     Parameters
     ----------
@@ -47,6 +55,12 @@ class HogwildThreadPool:
         paper's local-data-training setting).
     step_size:
         Base step size λ.
+    rule:
+        The update rule executed by every thread; defaults to the
+        registered ``sgd`` rule, which reproduces the historic Hogwild SGD
+        behaviour.  Rules with a dense term (SVRG, SAGA) have their
+        ``dense_delta`` applied before each sparse write, exactly as the
+        per-sample simulator orders it.
     importance_sampling:
         Whether threads draw samples from their local importance
         distribution (with the ``1/(n p)`` re-weighting) or uniformly.
@@ -64,6 +78,7 @@ class HogwildThreadPool:
         partition: Partition,
         *,
         step_size: float,
+        rule=None,
         importance_sampling: bool = True,
         step_clip: float = 100.0,
         seed: RandomState = 0,
@@ -75,6 +90,11 @@ class HogwildThreadPool:
         self.objective = objective
         self.partition = partition
         self.step_size = float(step_size)
+        if rule is None:
+            from repro.rules import make_rule
+
+            rule = make_rule("sgd", objective, self.step_size)
+        self.rule = rule
         self.importance_sampling = importance_sampling
         self.step_clip = float(step_clip)
         self.seed = seed
@@ -91,19 +111,24 @@ class HogwildThreadPool:
         stats: HogwildWorkerStats,
         barrier: threading.Barrier,
     ) -> None:
-        X, y, obj, w = self.X, self.y, self.objective, self.weights
-        lam = self.step_size
+        X, y, w, rule = self.X, self.y, self.weights, self.rule
         barrier.wait()
         for local in sequence:
             row = int(rows[local])
             x_idx, x_val = X.row(row)
-            grad = obj.sample_grad(w, x_idx, x_val, float(y[row]))
-            scale = -lam * float(weights_per_row[local])
-            # Lock-free write: np.add.at is not atomic across threads, which
-            # is precisely the Hogwild semantics we want to exercise.
-            np.add.at(w, grad.indices, scale * grad.values)
+            # Lock-free reads and writes: fancy indexing copies the current
+            # (possibly mid-update) coordinates, np.add.at is not atomic
+            # across threads — precisely the Hogwild semantics we want.
+            values, _dense = rule.compute_update(
+                w[x_idx], x_idx, x_val, float(y[row]),
+                float(weights_per_row[local]), row=row,
+            )
+            dense_delta = rule.dense_delta
+            if dense_delta is not None:
+                w += dense_delta
+            np.add.at(w, x_idx, values)
             stats.iterations += 1
-            stats.coordinate_writes += int(grad.indices.size)
+            stats.coordinate_writes += int(x_idx.size)
 
     def run_epoch(self, iterations_per_worker: int, *, epoch_seed: Optional[int] = None) -> None:
         """Run one epoch: every thread performs ``iterations_per_worker`` updates."""
@@ -149,6 +174,106 @@ class HogwildThreadPool:
         return self.weights
 
 
+class ThreadedRuleEngine:
+    """Epoch driver around :class:`HogwildThreadPool` for the runtime layer.
+
+    Satisfies the :class:`~repro.rules.base.EngineFacade` protocol, so rule
+    epoch hooks (SVRG's snapshot sync, SAGA's table initialisation, the
+    skip-µ epoch-level dense add) run on the driver thread between epochs —
+    written once in the rule, shared with the simulated tiers.  Thread
+    scheduling is real, so the trace carries *estimated* operation counters
+    (iterations, average-support traffic) and no delay/conflict replay.
+    """
+
+    def __init__(
+        self,
+        X: CSRMatrix,
+        y: np.ndarray,
+        objective: Objective,
+        partition: Partition,
+        rule,
+        *,
+        importance_sampling: bool = False,
+        step_clip: float = 100.0,
+        seed: RandomState = 0,
+        kernel=None,
+    ) -> None:
+        from repro.kernels.registry import resolve_backend
+
+        self.X = X
+        self.y = y
+        self.kernel = resolve_backend(kernel)
+        self.rule = rule
+        self.pool = HogwildThreadPool(
+            X, y, objective, partition,
+            step_size=rule.step_size,
+            rule=rule,
+            importance_sampling=importance_sampling,
+            step_clip=step_clip,
+            seed=seed,
+        )
+        # partition_dataset caps the shard count at n_samples; size the
+        # thread pool (and its barrier) from the partition, not from the
+        # requested worker count.
+        self.num_threads = partition.num_workers
+        self.iterations_per_worker = max(1, X.n_rows // self.num_threads)
+
+    # ------------------------------------------------------------------ #
+    # EngineFacade surface
+    # ------------------------------------------------------------------ #
+    @property
+    def weights(self) -> np.ndarray:
+        """The live shared weight buffer."""
+        return self.pool.weights
+
+    @property
+    def inner_iterations(self) -> int:
+        """Inner iterations per epoch (all threads combined)."""
+        return self.iterations_per_worker * self.num_threads
+
+    def apply_dense_update(self, delta: np.ndarray, *, worker_id: int = -1) -> None:
+        """Apply ``w += delta`` on the driver thread (between epochs)."""
+        self.pool.weights += delta
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        epochs: int,
+        *,
+        initial_weights: Optional[np.ndarray] = None,
+    ):
+        """Run ``epochs`` threaded epochs; returns ``(trace, weights_by_epoch)``."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if initial_weights is not None:
+            self.pool.weights[:] = initial_weights
+        rule = self.rule
+        base = as_rng(self.pool.seed)
+        trace = ExecutionTrace()
+        weights_by_epoch: List[np.ndarray] = []
+        avg_nnz = self.X.nnz / max(self.X.n_rows, 1)
+
+        for epoch in range(epochs):
+            event = EpochEvent(epoch=epoch)
+            rule.epoch_begin(self, epoch, event)
+            self.pool.run_epoch(
+                self.iterations_per_worker, epoch_seed=int(base.integers(0, 2**31 - 1))
+            )
+            total = self.inner_iterations
+            fold_block(
+                event,
+                rule,
+                iterations=total,
+                support_nnz=int(total * avg_nnz),
+                conflicts=0,
+            )
+            rule.epoch_end(self, epoch, event)
+            trace.add_epoch(event)
+            weights_by_epoch.append(self.pool.weights.copy())
+
+        return trace, weights_by_epoch
+
+
 def run_hogwild_threads(
     X: CSRMatrix,
     y: np.ndarray,
@@ -175,4 +300,9 @@ def run_hogwild_threads(
     return pool.run(epochs, iterations, epoch_callback=epoch_callback)
 
 
-__all__ = ["HogwildThreadPool", "HogwildWorkerStats", "run_hogwild_threads"]
+__all__ = [
+    "HogwildThreadPool",
+    "HogwildWorkerStats",
+    "ThreadedRuleEngine",
+    "run_hogwild_threads",
+]

@@ -408,6 +408,8 @@ def cmd_list(args: argparse.Namespace) -> int:
     from repro.datasets.catalog import list_datasets
     from repro.kernels.registry import available_backends, default_backend_name
     from repro.objectives.registry import available_objectives
+    from repro.rules import available_rules, rule_description
+    from repro.runtime import capability_matrix
     from repro.solvers.registry import available_solvers
 
     registries = {
@@ -415,11 +417,15 @@ def cmd_list(args: argparse.Namespace) -> int:
         "objectives": available_objectives(),
         "kernel_backends": available_backends(),
         "async_modes": available_async_modes(),
+        "rules": available_rules(),
         "datasets": list_datasets(include_smoke=True),
         "configs": available_configs(),
     }
+    matrix = capability_matrix()
     if args.json:
-        print(json.dumps(registries, indent=2))
+        payload = dict(registries)
+        payload["backends"] = matrix
+        print(json.dumps(payload, indent=2))
         return 0
     for name, values in registries.items():
         print(f"{name}:")
@@ -429,9 +435,24 @@ def cmd_list(args: argparse.Namespace) -> int:
                 suffix = "  (default)"
             elif name == "kernel_backends" and value == default_backend_name():
                 suffix = "  (default)"
+            elif name == "rules":
+                suffix = f"  — {rule_description(value)}"
             elif name == "configs":
                 suffix = f"  — {config_description(value)}"
             print(f"  {value}{suffix}")
+    print("backends:")
+    rows = [
+        {
+            "backend": row["backend"],
+            "batching": "yes" if row["supports_batching"] else "-",
+            "parallel": "yes" if row["true_parallelism"] else "-",
+            "measured_time": "yes" if row["measured_wall_clock"] else "-",
+            "deterministic": "yes" if row["deterministic"] else "-",
+            "rules": " ".join(row["rules"]),
+        }
+        for row in matrix
+    ]
+    print(format_table(rows, title="execution backends (async_mode capability matrix)"))
     print("\nsee docs/reference.md for kwargs and docs/cli.md for invocations")
     return 0
 

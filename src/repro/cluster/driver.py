@@ -37,21 +37,17 @@ from repro.cluster.sharding import ShardPlan, make_shard_plan
 from repro.cluster.shm import ShmArena
 from repro.cluster.worker import (
     BARRIER_TIMEOUT,
-    COL_BLOCKS,
-    COL_CONFLICTS,
     COL_DELAY_SUM,
-    COL_DENSE_WRITES,
-    COL_ITERATIONS,
     COL_MAX_DELAY,
-    COL_SAMPLE_DRAWS,
-    COL_SPARSE_WRITES,
-    COL_STALE_READS,
     NUM_COUNTER_COLS,
     WorkerTask,
+    build_rule,
     run_worker,
 )
 from repro.core.partition import Partition
 from repro.objectives.base import Objective
+from repro.runtime.trace_fold import fold_sync_step, fold_worker_counters
+from repro.rules import available_rules
 from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import RandomState, as_rng
 
@@ -112,8 +108,15 @@ class ClusterDriver:
         ``1/(n_a p_i)`` re-weighting (clipped at ``step_clip``) when True,
         uniformly otherwise.
     rule:
-        ``"sgd"`` (ASGD / IS-ASGD) or ``"svrg"`` (adds the per-epoch
-        snapshot + µ sync and the variance-reduced update).
+        A registered :mod:`repro.rules` name (``"sgd"``, ``"is_sgd"``,
+        ``"svrg"``, ``"svrg_skip_dense"``, ``"saga"``); the workers execute
+        the rule's single block definition, and the driver provisions its
+        shared state (SVRG's per-epoch µ/snapshot blocks, SAGA's
+        coefficient table + running average).  Custom rules registered at
+        runtime are only constructible inside the worker processes when
+        they inherit the parent's registry (the ``fork`` start method) —
+        the runtime dispatch therefore routes them to the in-process tiers
+        instead (see ``ProcessBackend.capabilities``).
     shard_scheme:
         ``"range"`` (default) or ``"coloring"`` — see
         :mod:`repro.cluster.sharding`.
@@ -150,8 +153,10 @@ class ClusterDriver:
     ) -> None:
         if y.shape[0] != X.n_rows:
             raise ValueError("X and y row counts differ")
-        if rule not in {"sgd", "svrg"}:
-            raise ValueError("rule must be 'sgd' or 'svrg'")
+        if rule not in available_rules():
+            raise ValueError(
+                f"unknown update rule {rule!r}; available: {', '.join(available_rules())}"
+            )
         self.X = X
         self.y = np.ascontiguousarray(y, dtype=np.float64)
         self.objective = objective
@@ -160,11 +165,17 @@ class ClusterDriver:
         self.importance_sampling = bool(importance_sampling)
         self.step_clip = float(step_clip)
         self.rule = rule
-        self.skip_dense_term = bool(skip_dense_term)
+        self.skip_dense_term = bool(skip_dense_term) or rule == "svrg_skip_dense"
+        # A prototype rule instance supplies the trace metadata defaults
+        # (sample-draw accounting) and, for SAGA, the initial table state —
+        # built through the same mapping the worker processes use.
+        self._proto_rule = build_rule(
+            rule, objective, float(step_size), skip_dense_term=self.skip_dense_term
+        )
         self.count_sample_draws = (
             bool(count_sample_draws)
             if count_sample_draws is not None
-            else rule == "sgd"
+            else bool(self._proto_rule.counts_sample_draws)
         )
         self.num_workers = partition.num_workers
         self.num_shards = int(num_shards) if num_shards else self.num_workers
@@ -200,7 +211,8 @@ class ClusterDriver:
             raise ValueError("epochs must be >= 1")
         d = self.X.n_cols
         rng = as_rng(self.seed)
-        is_svrg = self.rule == "svrg"
+        is_svrg = self.rule in ("svrg", "svrg_skip_dense")
+        is_saga = self.rule == "saga"
 
         arena = ShmArena()
         try:
@@ -229,6 +241,20 @@ class ClusterDriver:
             if is_svrg:
                 mu_block = arena.create("mu", (d,), "float64")
                 snap_block = arena.create("snap_margins", (self.X.n_rows,), "float64")
+            if is_saga:
+                # SAGA's shared table state, built at the starting iterate
+                # through the rule's own definition (one batched kernel
+                # pass); the average lives in the flat shard layout.
+                from repro.kernels.registry import resolve_backend
+
+                w0 = self.plan.unflatten(w)
+                coefs0, avg0 = self._proto_rule.initial_state(
+                    self.X, self.y, w0, resolve_backend(self.kernel_name)
+                )
+                arena.create("saga_coefs", (self.X.n_rows,), "float64", initial=coefs0)
+                arena.create(
+                    "saga_avg", (d,), "float64", initial=self.plan.flatten_vector(avg0)
+                )
 
             ctx = mp.get_context(self.start_method)
             barrier = ctx.Barrier(self.num_workers + 1)
@@ -273,6 +299,7 @@ class ClusterDriver:
                 keep_epoch_weights, is_svrg,
                 mu_block if is_svrg else None,
                 snap_block if is_svrg else None,
+                is_saga,
             )
         finally:
             arena.close()
@@ -316,7 +343,7 @@ class ClusterDriver:
 
     def _drive_epochs(
         self, epochs, arena, barrier, procs, counters, shard_writes,
-        keep_epoch_weights, is_svrg, mu_block, snap_block,
+        keep_epoch_weights, is_svrg, mu_block, snap_block, is_saga=False,
     ) -> ClusterRunResult:
         import threading
 
@@ -340,12 +367,17 @@ class ClusterDriver:
                 # an SVRG epoch) and the skip-µ epoch-level dense add.  Only
                 # metrics bookkeeping (snapshots, counter reads) stays out.
                 started = time.perf_counter()
+                if is_saga and epoch == 0:
+                    # Table initialisation at the starting iterate (performed
+                    # in run() before the workers launched) — priced like
+                    # every other once-per-run sync step.
+                    fold_sync_step(event, nnz=self.X.nnz, dim=d)
                 if is_svrg:
                     snapshot = self.plan.unflatten(w)
                     mu = self.objective.full_gradient(snapshot, self.X, self.y)
                     mu_block[...] = self.plan.flatten_vector(mu)
                     snap_block[...] = self.X.dot(snapshot)
-                    event.merge_bulk(iterations=1, grad_nnz=self.X.nnz, dense_coords=d)
+                    fold_sync_step(event, nnz=self.X.nnz, dim=d)
                 self._guarded_wait(barrier, procs)      # release the epoch
                 self._guarded_wait(barrier, procs)      # workers finished
 
@@ -354,7 +386,7 @@ class ClusterDriver:
                     # paper's skip-µ ablation), exactly as the simulated
                     # engines do.
                     w += total_inner * (-self.step_size) * mu_block
-                    event.merge_bulk(iterations=1, grad_nnz=0, dense_coords=d)
+                    fold_sync_step(event, nnz=0, dim=d)
                 elapsed = time.perf_counter() - started
 
                 snap_counters = counters.copy()
@@ -365,14 +397,8 @@ class ClusterDriver:
                 prev_shard_writes = snap_shards
                 counters[:, COL_MAX_DELAY] = 0  # per-epoch maximum
 
-                iters = int(delta[:, COL_ITERATIONS].sum())
-                event.merge_bulk(
-                    iterations=iters,
-                    grad_nnz=int(delta[:, COL_SPARSE_WRITES].sum()),
-                    dense_coords=int(delta[:, COL_DENSE_WRITES].sum()),
-                    conflicts=int(delta[:, COL_CONFLICTS].sum()),
-                    sample_draws=int(delta[:, COL_SAMPLE_DRAWS].sum()),
-                    stale_reads=int(delta[:, COL_STALE_READS].sum()),
+                iters = fold_worker_counters(
+                    event, delta,
                     max_delay=int(snap_counters[:, COL_MAX_DELAY].max(initial=0)),
                 )
                 trace.add_epoch(event)

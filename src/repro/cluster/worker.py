@@ -10,7 +10,10 @@ sequence in macro-blocks through the kernel batch primitives:
 2. ``KernelBackend.segment_margins`` — all block margins against the live
    shared parameter buffer (other workers keep writing underneath: these
    reads are genuinely stale, not simulated-stale);
-3. the solver rule's batched coefficients (``Objective.batch_grad_coeffs``);
+3. the registered update rule's block computation
+   (:meth:`repro.rules.base.UpdateRuleKernel.block_entry_weights` — the
+   *same* definition the simulated and threaded tiers execute, fed flat
+   shard-layout coordinates);
 4. ``KernelBackend.scatter_add`` — one lock-free index-compressed write of
    the whole block into the sharded parameter buffer (``np.add.at`` over
    shared memory: last-writer-wins per coordinate, the Hogwild semantics).
@@ -22,6 +25,12 @@ which coordinates were overwritten by other workers in that window
 (occupancy).  The driver folds those counters into the same
 :class:`~repro.async_engine.events.EpochEvent` records the simulator
 emits, so measured and simulated traces are directly comparable.
+
+Rule-specific shared state rides in the arena: SVRG's per-epoch snapshot
+blocks (``mu``, ``snap_margins``, refreshed by the driver between epochs)
+and SAGA's coefficient table + lock-free running average (``saga_coefs``,
+``saga_avg`` — the table rows of a worker's shard are touched by that
+worker only, the average is updated Hogwild-style by everyone).
 """
 
 from __future__ import annotations
@@ -74,7 +83,7 @@ class WorkerTask:
     epochs: int
     step_size: float
     objective: object                   # repro Objective (picklable)
-    rule: str = "sgd"                   # "sgd" | "svrg"
+    rule: str = "sgd"                   # registry name from repro.rules
     skip_dense_term: bool = False
     count_sample_draws: bool = True
     batch_size: int = 256
@@ -95,11 +104,10 @@ def run_worker(task: WorkerTask, barrier) -> None:
     import threading
 
     from repro.kernels.registry import resolve_backend
-    from repro.objectives.regularizers import NoRegularizer
 
     arena = ShmArena.attach(task.arena)
     try:
-        _worker_loop(task, barrier, arena, resolve_backend(task.kernel_name), NoRegularizer)
+        _worker_loop(task, barrier, arena, resolve_backend(task.kernel_name))
     except threading.BrokenBarrierError:
         pass
     except BaseException:
@@ -113,7 +121,35 @@ def run_worker(task: WorkerTask, barrier) -> None:
         arena.close()
 
 
-def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls) -> None:
+def build_rule(rule: str, objective, step_size: float, *, skip_dense_term: bool = False):
+    """Instantiate a cluster-side update rule from the registry.
+
+    The SVRG family shares one class (``skip_dense_term`` selects the
+    ablation); everything else maps straight through :func:`make_rule`.
+    The driver (trace-metadata prototype, SAGA table init) and the workers
+    build their rule through this one mapping so they can never diverge.
+    """
+    from repro.rules import make_rule
+
+    if rule in ("svrg", "svrg_skip_dense"):
+        return make_rule(
+            "svrg",
+            objective,
+            float(step_size),
+            skip_dense_term=skip_dense_term or rule == "svrg_skip_dense",
+        )
+    return make_rule(rule, objective, float(step_size))
+
+
+def build_task_rule(task: WorkerTask):
+    """The worker-process entry to :func:`build_rule`."""
+    return build_rule(
+        task.rule, task.objective, task.step_size,
+        skip_dense_term=task.skip_dense_term,
+    )
+
+
+def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel) -> None:
     wid = task.worker_id
     w = arena["weights"]                       # flat (sharded) layout, float64[dim]
     X = CSRMatrix(
@@ -132,16 +168,17 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls)
     write_clock = arena["write_clock"]
     num_shards = shard_writes.shape[1]
 
-    obj = task.objective
-    lam = float(task.step_size)
-    reg = getattr(obj, "regularizer", None)
-    use_reg = reg is not None and not isinstance(reg, no_reg_cls)
+    rule = build_task_rule(task)
     rng = as_rng(task.seed)
     block = max(1, int(task.batch_size))
-    is_svrg = task.rule == "svrg"
+    is_svrg = task.rule in ("svrg", "svrg_skip_dense")
     mu_flat = arena["mu"] if is_svrg else None
     snap_margins = arena["snap_margins"] if is_svrg else None
-    d = task.dim
+    if task.rule == "saga":
+        # Table rows of this worker's shard are written by this worker
+        # only; the running average is genuinely shared (Hogwild writes).
+        rule.attach_state(arena["saga_coefs"], arena["saga_avg"], X.n_rows)
+    grad_nnz_mult = int(rule.grad_nnz_multiplier)
 
     for _epoch in range(task.epochs):
         epoch_seed = int(rng.integers(0, 2**31 - 1))
@@ -149,9 +186,10 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls)
         sequence = SampleSequence.generate(
             task.probabilities, task.iterations_per_epoch, seed=epoch_seed
         ).indices
-        dense_step = None
-        if is_svrg and not task.skip_dense_term:
-            dense_step = -lam * mu_flat.copy()
+        if is_svrg:
+            # Adopt the driver's refreshed snapshot state for this epoch
+            # (mu arrives in the flat layout; the rule math is layout-blind).
+            rule.set_snapshot(mu_flat.copy(), snap_margins)
 
         for start in range(0, sequence.size, block):
             local = sequence[start : start + block]
@@ -164,18 +202,18 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls)
             idx, val, lengths = X.gather_rows(rows)
             fidx = flat_of[idx] if flat_of is not None else idx
             margins = kernel.segment_margins(fidx, val, lengths, w)
-            y_rows = y[rows]
 
-            if is_svrg:
-                coef_w = obj.batch_grad_coeffs(margins, y_rows)
-                coef_s = obj.batch_grad_coeffs(snap_margins[rows], y_rows)
-                entry = -lam * np.repeat(step_w * (coef_w - coef_s), lengths) * val
-            else:
-                coeffs = obj.batch_grad_coeffs(margins, y_rows)
-                entry = np.repeat(step_w * coeffs, lengths) * val
-                if use_reg and fidx.size:
-                    entry = entry + np.repeat(step_w, lengths) * reg.grad_coords(w, fidx)
-                entry = -lam * entry
+            entry = rule.block_entry_weights(
+                w=w,
+                rows=rows,
+                y=y[rows],
+                margins=margins,
+                step_weights=step_w,
+                idx=fidx,
+                val=val,
+                lengths=lengths,
+            )
+            dense_step = rule.dense_delta
 
             # Write side: what landed from other workers while we computed?
             t_write = int(progress.sum())
@@ -202,7 +240,7 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls)
 
             row_c = counters[wid]
             row_c[COL_ITERATIONS] += n_iter
-            row_c[COL_SPARSE_WRITES] += (2 if is_svrg else 1) * int(lengths.sum())
+            row_c[COL_SPARSE_WRITES] += grad_nnz_mult * int(lengths.sum())
             row_c[COL_CONFLICTS] += conflicts
             row_c[COL_DELAY_SUM] += delay * n_iter
             row_c[COL_BLOCKS] += 1
@@ -211,7 +249,7 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls)
                 if delay > row_c[COL_MAX_DELAY]:
                     row_c[COL_MAX_DELAY] = delay
             if dense_step is not None:
-                row_c[COL_DENSE_WRITES] += n_iter * d
+                row_c[COL_DENSE_WRITES] += n_iter * int(dense_step.shape[0])
             if task.count_sample_draws:
                 row_c[COL_SAMPLE_DRAWS] += n_iter
 
@@ -221,6 +259,8 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel, no_reg_cls)
 __all__ = [
     "WorkerTask",
     "run_worker",
+    "build_rule",
+    "build_task_rule",
     "NUM_COUNTER_COLS",
     "COL_ITERATIONS",
     "COL_SPARSE_WRITES",

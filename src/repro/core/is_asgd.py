@@ -12,9 +12,12 @@ The solver combines every piece of the library:
 5. run lock-free asynchronous execution, with every step re-weighted by
    ``1/(n_a p_i)`` for unbiasedness.
 
-The asynchronous execution goes through the perturbed-iterate simulator by
-default (see DESIGN.md §5 for the substitution rationale); the real
-threading backend can be selected for functional validation.
+Steps 1–4 are this solver's declaration — the *what*.  Step 5 is handed to
+the execution runtime (:mod:`repro.runtime`) as the registered ``is_sgd``
+rule (the same coefficient math as ``sgd``; the re-weighting rides in the
+sampler's step weights), so any of the four backends can execute it:
+``per_sample`` (ground truth, the DESIGN.md §5 substitution), ``batched``,
+``threads`` or the ``process`` cluster.
 """
 
 from __future__ import annotations
@@ -23,16 +26,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.batched import BatchedSimulator
 from repro.async_engine.modes import resolve_async_mode
-from repro.async_engine.simulator import AsyncSimulator
 from repro.async_engine.staleness import StalenessModel, UniformDelay
-from repro.async_engine.worker import build_workers
-from repro.core.balancing import BalancingDecision, balance_dataset
+from repro.core.balancing import balance_dataset
 from repro.core.config import ISASGDConfig
 from repro.core.importance import ImportanceScheme
 from repro.core.partition import partition_dataset
-from repro.solvers.asgd import BatchedSparseSGDRule, SparseSGDUpdateRule
 from repro.solvers.base import BaseSolver, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import as_rng
@@ -56,20 +55,20 @@ class ISASGDSolver(BaseSolver):
         ``"simulated"`` (default) or ``"threads"`` (backward-compatible
         alias for ``async_mode="threads"``).
     async_mode:
-        Execution engine: ``"per_sample"`` (simulated ground truth),
-        ``"batched"`` (simulated macro-step fast path), ``"threads"``
-        (real lock-free threads, GIL-bound) or ``"process"`` (true
-        multi-process sharded parameter server with measured wall-clock —
-        see :mod:`repro.cluster`); ``None`` resolves via
-        ``REPRO_ASYNC_MODE``.
+        Execution backend, resolved through the runtime registry:
+        ``"per_sample"``, ``"batched"``, ``"threads"`` or ``"process"``;
+        ``None`` resolves via ``REPRO_ASYNC_MODE``.  See
+        ``docs/runtime.md`` for the capability matrix.
     batch_size:
-        Macro-step length for the batched/process engines (``"auto"`` by
+        Macro-step length for the batched/process backends (``"auto"`` by
         default).
     shard_scheme / num_shards:
         Parameter-shard layout for ``async_mode="process"``.
     """
 
     name = "is_asgd"
+    #: Registered update rule this solver declares.
+    rule = "is_sgd"
 
     def __init__(
         self,
@@ -147,119 +146,20 @@ class ISASGDSolver(BaseSolver):
         rng = as_rng(self.seed)
         cfg = self.config
         partition, balancing = self.prepare_partition(problem, rng)
-
-        if self.async_mode == "threads":
-            return self._fit_threads(problem, partition, balancing, rng, initial_weights)
-        if self.async_mode == "process":
-            return self._fit_process(problem, partition, balancing, rng, initial_weights)
-
-        iterations_per_worker = max(1, problem.n_samples // cfg.num_workers)
-        workers = build_workers(
-            partition,
-            iterations_per_worker,
-            step_clip=cfg.step_clip,
-            seed=int(rng.integers(0, 2**31 - 1)),
-            importance_sampling=cfg.importance is ImportanceScheme.LIPSCHITZ,
-        )
-        staleness = self.staleness or UniformDelay(cfg.effective_max_delay)
-        sim_seed = int(rng.integers(0, 2**31 - 1))
-        if self.async_mode == "batched":
-            simulator = BatchedSimulator(
-                X=problem.X,
-                y=problem.y,
-                workers=workers,
-                update_rule=BatchedSparseSGDRule(
-                    objective=problem.objective, step_size=cfg.step_size
-                ),
-                staleness=staleness,
-                seed=sim_seed,
-                batch_size=self.batch_size,
-                kernel=self.kernel,
-            )
-        else:
-            simulator = AsyncSimulator(
-                X=problem.X,
-                y=problem.y,
-                workers=workers,
-                update_rule=SparseSGDUpdateRule(
-                    objective=problem.objective, step_size=cfg.step_size
-                ),
-                staleness=staleness,
-                seed=sim_seed,
-            )
-        sim_result = simulator.run(
-            cfg.epochs,
-            initial_weights=initial_weights,
-            reshuffle=not cfg.reshuffle_sequences,
-            regenerate=cfg.reshuffle_sequences,
-            keep_epoch_weights=True,
-        )
-        info = self._info(problem, partition, balancing)
-        info["async_mode"] = self.async_mode
-        info["conflict_rate"] = sim_result.trace.conflict_rate()
-        info["max_delay"] = staleness.max_delay
-        return self._finalize(
-            problem,
-            sim_result.epoch_weights or [sim_result.weights],
-            sim_result.trace,
-            include_sampling=True,
-            info=info,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _fit_process(self, problem: Problem, partition, balancing, rng, initial_weights) -> TrainResult:
-        """Algorithm 4 on the true multi-process parameter-server tier."""
-        cfg = self.config
-        return self._run_cluster(
+        return self._execute_async(
             problem,
             partition,
-            rule="sgd",
-            seed=int(rng.integers(0, 2**31 - 1)),
+            rng,
+            rule=self.rule,
+            staleness=self.staleness or UniformDelay(cfg.effective_max_delay),
             include_sampling=True,
-            importance_sampling=cfg.importance is ImportanceScheme.LIPSCHITZ,
-            step_clip=cfg.step_clip,
             extra_info=self._info(problem, partition, balancing),
             initial_weights=initial_weights,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _fit_threads(self, problem: Problem, partition, balancing, rng, initial_weights) -> TrainResult:
-        from repro.async_engine.events import EpochEvent, ExecutionTrace
-        from repro.async_engine.threads import HogwildThreadPool
-
-        cfg = self.config
-        pool = HogwildThreadPool(
-            problem.X,
-            problem.y,
-            problem.objective,
-            partition,
-            step_size=cfg.step_size,
             importance_sampling=cfg.importance is ImportanceScheme.LIPSCHITZ,
             step_clip=cfg.step_clip,
-            seed=int(rng.integers(0, 2**31 - 1)),
+            reshuffle=not cfg.reshuffle_sequences,
+            regenerate=cfg.reshuffle_sequences,
         )
-        if initial_weights is not None:
-            pool.weights[:] = initial_weights
-        iterations_per_worker = max(1, problem.n_samples // cfg.num_workers)
-
-        trace = ExecutionTrace()
-        weights_by_epoch = []
-        avg_nnz = problem.X.nnz / max(problem.n_samples, 1)
-
-        def callback(epoch: int, weights: np.ndarray) -> None:
-            event = EpochEvent(epoch=epoch)
-            total = iterations_per_worker * cfg.num_workers
-            event.iterations = total
-            event.sparse_coordinate_updates = int(total * avg_nnz)
-            event.sample_draws = total
-            trace.add_epoch(event)
-            weights_by_epoch.append(weights)
-
-        pool.run(cfg.epochs, iterations_per_worker, epoch_callback=callback)
-        info = self._info(problem, partition, balancing)
-        info["backend"] = "threads"
-        info["async_mode"] = "threads"
-        return self._finalize(problem, weights_by_epoch, trace, include_sampling=True, info=info)
 
     # ------------------------------------------------------------------ #
     def _info(self, problem: Problem, partition, balancing) -> dict:

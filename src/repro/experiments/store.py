@@ -32,9 +32,12 @@ from repro.metrics.tracing import RunRecord, _jsonable
 #: On-disk artifact schema version (bump on incompatible layout changes).
 FORMAT_VERSION = 1
 
-#: Solvers that execute through the async engine and therefore depend on
-#: the resolved ``async_mode`` (serial solvers ignore it).
-ASYNC_SOLVERS = frozenset({"asgd", "is_asgd", "svrg_asgd"})
+from repro.solvers.registry import ASYNC_SOLVER_NAMES
+
+#: Solvers that execute through the runtime layer and therefore depend on
+#: the resolved ``async_mode`` (serial solvers ignore it).  Sourced from
+#: the solver registry so a new async solver is never special-cased here.
+ASYNC_SOLVERS = frozenset(ASYNC_SOLVER_NAMES)
 
 
 def run_identity(

@@ -1,0 +1,56 @@
+"""The unified execution runtime: one rule definition, four backends.
+
+``repro.runtime`` is the seam between *what* a solver computes (a
+registered update rule from :mod:`repro.rules`, a sampler configuration, a
+data partition) and *how* it executes (which of the four interchangeable
+tiers runs it).  Solvers build an
+:class:`~repro.runtime.backends.ExecutionRequest` and call
+:func:`~repro.runtime.backends.execute`; the backend registry resolves the
+``async_mode``, validates the rule/backend combination against the
+capability metadata and returns an
+:class:`~repro.runtime.backends.ExecutionResult` whose trace plugs into the
+metrics/cost/experiments pipeline unchanged.
+
+See ``docs/runtime.md`` for the backend contract, the capability table and
+the "add a solver in one file" walkthrough.
+"""
+
+from repro.runtime.backends import (
+    BackendCapabilities,
+    ExecutionBackend,
+    ExecutionRequest,
+    ExecutionResult,
+    available_backend_names,
+    backend_capabilities,
+    backends_supporting,
+    capability_matrix,
+    execute,
+    get_backend,
+    register_backend,
+)
+from repro.runtime.trace_fold import (
+    build_schedule,
+    fold_block,
+    fold_iteration,
+    fold_sync_step,
+    fold_worker_counters,
+)
+
+__all__ = [
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "available_backend_names",
+    "backend_capabilities",
+    "backends_supporting",
+    "capability_matrix",
+    "execute",
+    "get_backend",
+    "register_backend",
+    "build_schedule",
+    "fold_block",
+    "fold_iteration",
+    "fold_sync_step",
+    "fold_worker_counters",
+]

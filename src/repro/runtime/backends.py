@@ -1,0 +1,478 @@
+"""Execution backends: one contract, four interchangeable tiers.
+
+This module is the runtime layer's registry.  An :class:`ExecutionBackend`
+turns an :class:`ExecutionRequest` — "this data, this partition, this
+registered update rule, this many epochs" — into an
+:class:`ExecutionResult`, and advertises what it can do through
+:class:`BackendCapabilities`.  The asynchronous solvers are pure request
+builders: they declare *what* to run (rule + sampler + partition) and the
+registry decides *how* (which engine, with which trace guarantees), so
+adding a solver touches no engine and adding an engine touches no solver.
+
+Registered backends (also reachable through the legacy
+:mod:`repro.async_engine.modes` shim and the ``REPRO_ASYNC_MODE``
+environment variable):
+
+====================  ==========================================================
+``per_sample``        trace-exact ground-truth simulator (one Python iteration
+                      per update) — the reference every other tier is pinned to
+``batched``           macro-step fast path through the kernel batch primitives
+``threads``           real lock-free Python threads (GIL-bound; correctness)
+``process``           multi-process sharded parameter server, measured
+                      wall-clock (:mod:`repro.cluster`)
+====================  ==========================================================
+
+Requesting a rule a backend does not support, or an unknown backend name,
+raises immediately with the full list of valid choices — failures surface
+at dispatch, not deep inside an engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RandomState
+
+#: Built-in rule names, in registry (sorted) order.  The cluster tier pins
+#: its support to these: it provisions rule-specific shared-memory state
+#: and rebuilds rules inside child processes, so runtime-registered custom
+#: rules cannot be guaranteed there.
+_BUILTIN_RULES: Tuple[str, ...] = ("is_sgd", "saga", "sgd", "svrg", "svrg_skip_dense")
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an execution backend guarantees (surfaced by ``repro list``).
+
+    Attributes
+    ----------
+    name:
+        Registry name (the ``async_mode`` value selecting this backend).
+    description:
+        One-line description for registries and generated docs.
+    supports_batching:
+        Whether the tier executes macro-steps through the kernel batch
+        primitives (and honours ``batch_size``).
+    true_parallelism:
+        Whether throughput scales with physical cores.
+    measured_wall_clock:
+        Whether the result carries measured seconds (otherwise the cost
+        model prices the trace).
+    deterministic:
+        Whether one seed reproduces the run bit-for-bit (real concurrency
+        is scheduled by the OS and is validated by tolerance instead).
+    supported_rules:
+        Registered rule names this backend can execute, or ``None`` for
+        "every rule in the live :mod:`repro.rules` registry" — the
+        rule-generic tiers use ``None`` so a custom ``register_rule``
+        immediately runs on them.
+    """
+
+    name: str
+    description: str
+    supports_batching: bool
+    true_parallelism: bool
+    measured_wall_clock: bool
+    deterministic: bool
+    supported_rules: Optional[Tuple[str, ...]] = None
+
+    def resolved_rules(self) -> List[str]:
+        """The rule names this backend currently supports."""
+        if self.supported_rules is not None:
+            return list(self.supported_rules)
+        from repro.rules import available_rules
+
+        return available_rules()
+
+    def supports_rule(self, rule: str) -> bool:
+        """Whether ``rule`` (a :mod:`repro.rules` name) can run here."""
+        return rule in self.resolved_rules()
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat JSON-friendly row for capability matrices."""
+        return {
+            "backend": self.name,
+            "description": self.description,
+            "supports_batching": self.supports_batching,
+            "true_parallelism": self.true_parallelism,
+            "measured_wall_clock": self.measured_wall_clock,
+            "deterministic": self.deterministic,
+            "rules": self.resolved_rules(),
+        }
+
+
+@dataclass
+class ExecutionRequest:
+    """Everything a backend needs to run one training job.
+
+    Built by the solvers from their configuration; deliberately free of any
+    engine-specific object so the same request can be handed to any
+    registered backend.
+    """
+
+    X: Any                                  # CSRMatrix
+    y: np.ndarray
+    objective: Any                          # repro Objective
+    partition: Any                          # core.partition.Partition
+    rule: str                               # repro.rules registry name
+    step_size: float
+    epochs: int
+    engine_seed: RandomState = 0            # schedule/delay/thread/process seed
+    worker_seed: int = 0                    # simulated-worker sequence seed
+    importance_sampling: bool = False
+    step_clip: float = 100.0
+    staleness: Any = None                   # Optional[StalenessModel]
+    batch_size: Union[int, str] = "auto"
+    shard_scheme: str = "range"
+    num_shards: Optional[int] = None
+    kernel: Any = None                      # resolved KernelBackend (or name/None)
+    initial_weights: Optional[np.ndarray] = None
+    reshuffle: bool = True
+    regenerate: bool = False
+    iterations_per_worker: Optional[int] = None
+
+    def build_rule(self):
+        """Instantiate the requested update rule from the registry."""
+        from repro.rules import make_rule
+
+        return make_rule(self.rule, self.objective, self.step_size)
+
+    def build_workers(self):
+        """One :class:`SimulatedWorker` per shard (simulated tiers only)."""
+        from repro.async_engine.worker import build_workers
+
+        return build_workers(
+            self.partition,
+            self.resolved_iterations_per_worker(),
+            step_clip=self.step_clip,
+            seed=self.worker_seed,
+            importance_sampling=self.importance_sampling,
+        )
+
+    def resolved_iterations_per_worker(self) -> int:
+        """Per-worker inner iterations (defaults to ``n / num_workers``)."""
+        if self.iterations_per_worker is not None:
+            return max(1, int(self.iterations_per_worker))
+        return max(1, self.X.n_rows // max(self.partition.num_workers, 1))
+
+    def resolved_staleness(self):
+        """The delay model (defaults to ``UniformDelay(num_workers - 1)``)."""
+        if self.staleness is not None:
+            return self.staleness
+        from repro.async_engine.staleness import UniformDelay
+
+        return UniformDelay(max(self.partition.num_workers - 1, 0))
+
+
+@dataclass
+class ExecutionResult:
+    """What every backend returns: iterates, trace, optional measured time."""
+
+    weights: np.ndarray
+    trace: Any                              # ExecutionTrace
+    epoch_weights: Optional[List[np.ndarray]] = None
+    wall_clock: Optional[np.ndarray] = None  # measured cumulative seconds, or None
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class ExecutionBackend:
+    """Base class of the four execution tiers (the backend contract).
+
+    Subclasses define :attr:`capabilities` and :meth:`run`; everything else
+    (resolution, validation, capability display) is registry machinery.
+    """
+
+    capabilities: BackendCapabilities
+
+    def run(self, request: ExecutionRequest) -> ExecutionResult:
+        """Execute the request and return the result."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# The built-in tiers
+# --------------------------------------------------------------------- #
+class PerSampleBackend(ExecutionBackend):
+    """Ground truth: one Python-level iteration per update, trace-exact."""
+
+    capabilities = BackendCapabilities(
+        name="per_sample",
+        description="trace-exact ground-truth simulator, one Python iteration per update",
+        supports_batching=False,
+        true_parallelism=False,
+        measured_wall_clock=False,
+        deterministic=True,
+    )
+
+    def run(self, request: ExecutionRequest) -> ExecutionResult:
+        from repro.async_engine.simulator import AsyncSimulator
+
+        workers = request.build_workers()
+        staleness = request.resolved_staleness()
+        simulator = AsyncSimulator(
+            X=request.X,
+            y=request.y,
+            workers=workers,
+            update_rule=request.build_rule(),
+            staleness=staleness,
+            seed=request.engine_seed,
+            kernel=request.kernel,
+        )
+        sim = simulator.run(
+            request.epochs,
+            initial_weights=request.initial_weights,
+            reshuffle=request.reshuffle,
+            regenerate=request.regenerate,
+            keep_epoch_weights=True,
+        )
+        return ExecutionResult(
+            weights=sim.weights,
+            trace=sim.trace,
+            epoch_weights=sim.epoch_weights,
+            info={
+                "backend": "simulated",
+                "async_mode": self.capabilities.name,
+                "max_delay": staleness.max_delay,
+                "conflict_rate": sim.trace.conflict_rate(),
+            },
+        )
+
+
+class BatchedBackend(ExecutionBackend):
+    """Macro-step fast path through the kernel batch primitives."""
+
+    capabilities = BackendCapabilities(
+        name="batched",
+        description="macro-step fast path through the kernel batch primitives (trace bit-equal)",
+        supports_batching=True,
+        true_parallelism=False,
+        measured_wall_clock=False,
+        deterministic=True,
+    )
+
+    def run(self, request: ExecutionRequest) -> ExecutionResult:
+        from repro.async_engine.batched import BatchedSimulator
+
+        workers = request.build_workers()
+        staleness = request.resolved_staleness()
+        simulator = BatchedSimulator(
+            X=request.X,
+            y=request.y,
+            workers=workers,
+            update_rule=request.build_rule(),
+            staleness=staleness,
+            seed=request.engine_seed,
+            batch_size=request.batch_size,
+            kernel=request.kernel,
+        )
+        sim = simulator.run(
+            request.epochs,
+            initial_weights=request.initial_weights,
+            reshuffle=request.reshuffle,
+            regenerate=request.regenerate,
+            keep_epoch_weights=True,
+        )
+        return ExecutionResult(
+            weights=sim.weights,
+            trace=sim.trace,
+            epoch_weights=sim.epoch_weights,
+            info={
+                "backend": "simulated",
+                "async_mode": self.capabilities.name,
+                "max_delay": staleness.max_delay,
+                "conflict_rate": sim.trace.conflict_rate(),
+            },
+        )
+
+
+class ThreadsBackend(ExecutionBackend):
+    """Real lock-free Python threads (GIL-bound; correctness validation)."""
+
+    capabilities = BackendCapabilities(
+        name="threads",
+        description="real lock-free Python threads (functional validation; GIL-bound)",
+        supports_batching=False,
+        true_parallelism=False,
+        measured_wall_clock=False,
+        deterministic=False,
+    )
+
+    def run(self, request: ExecutionRequest) -> ExecutionResult:
+        from repro.async_engine.threads import ThreadedRuleEngine
+
+        engine = ThreadedRuleEngine(
+            request.X,
+            request.y,
+            request.objective,
+            request.partition,
+            request.build_rule(),
+            importance_sampling=request.importance_sampling,
+            step_clip=request.step_clip,
+            seed=request.engine_seed,
+            kernel=request.kernel,
+        )
+        engine.iterations_per_worker = request.resolved_iterations_per_worker()
+        trace, weights_by_epoch = engine.run(
+            request.epochs, initial_weights=request.initial_weights
+        )
+        return ExecutionResult(
+            weights=weights_by_epoch[-1],
+            trace=trace,
+            epoch_weights=weights_by_epoch,
+            info={"backend": "threads", "async_mode": self.capabilities.name},
+        )
+
+
+class ProcessBackend(ExecutionBackend):
+    """Multi-process sharded parameter server with measured wall-clock."""
+
+    capabilities = BackendCapabilities(
+        name="process",
+        description="multi-process sharded parameter server with measured wall-clock",
+        supports_batching=True,
+        true_parallelism=True,
+        measured_wall_clock=True,
+        deterministic=False,
+        # Pinned: worker processes rebuild their rule from a fresh
+        # interpreter's registry and the driver provisions rule-specific
+        # arena state, so runtime-registered custom rules are rejected at
+        # dispatch (with the generic tiers listed) instead of surfacing as
+        # an opaque broken-barrier crash inside a child.
+        supported_rules=_BUILTIN_RULES,
+    )
+
+    def run(self, request: ExecutionRequest) -> ExecutionResult:
+        from repro.cluster import ClusterDriver
+        from repro.kernels.registry import resolve_backend
+
+        driver = ClusterDriver(
+            request.X,
+            request.y,
+            request.objective,
+            request.partition,
+            step_size=request.step_size,
+            importance_sampling=request.importance_sampling,
+            step_clip=request.step_clip,
+            rule=request.rule,
+            shard_scheme=request.shard_scheme,
+            num_shards=request.num_shards,
+            batch_size=request.batch_size,
+            kernel_name=resolve_backend(request.kernel).name,
+            seed=request.engine_seed,
+        )
+        run = driver.run(request.epochs, initial_weights=request.initial_weights)
+        info = {
+            "async_mode": self.capabilities.name,
+            "conflict_rate": run.trace.conflict_rate(),
+        }
+        info.update(run.info)
+        return ExecutionResult(
+            weights=run.weights,
+            trace=run.trace,
+            epoch_weights=run.epoch_weights,
+            wall_clock=run.wall_clock,
+            info=info,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+_BACKENDS: Dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend) -> None:
+    """Register an execution backend (overwrites an existing name)."""
+    _BACKENDS[backend.capabilities.name] = backend
+
+
+def available_backend_names() -> List[str]:
+    """Backend names in registration order (``per_sample`` first)."""
+    return list(_BACKENDS)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a backend by name; unknown names list the valid ones."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown async mode {name!r}; available: "
+            f"{', '.join(available_backend_names())}"
+        ) from None
+
+
+def backend_capabilities(name: str) -> BackendCapabilities:
+    """Capability metadata of a registered backend."""
+    return get_backend(name).capabilities
+
+
+def capability_matrix() -> List[Dict[str, Any]]:
+    """One JSON-friendly row per registered backend (CLI / docs)."""
+    return [get_backend(name).capabilities.as_row() for name in available_backend_names()]
+
+
+def backends_supporting(rule: str) -> List[str]:
+    """Names of the backends whose capabilities include ``rule``."""
+    return [
+        name
+        for name in available_backend_names()
+        if get_backend(name).capabilities.supports_rule(rule)
+    ]
+
+
+def execute(mode: Optional[str], request: ExecutionRequest) -> ExecutionResult:
+    """Resolve ``mode`` and run the request on the selected backend.
+
+    ``mode`` may be a backend name or ``None`` (resolved through the
+    process default / ``REPRO_ASYNC_MODE``, exactly like the solvers'
+    ``async_mode`` argument).  Unknown rules, unknown modes and
+    rule/backend combinations the capabilities cannot honour all fail
+    *here*, with actionable messages, instead of deep inside an engine.
+    """
+    from repro.async_engine.modes import resolve_async_mode
+    from repro.rules import available_rules
+
+    if request.rule not in available_rules():
+        raise ValueError(
+            f"unknown update rule {request.rule!r}; available: "
+            f"{', '.join(available_rules())}"
+        )
+    backend = get_backend(resolve_async_mode(mode))
+    caps = backend.capabilities
+    if not caps.supports_rule(request.rule):
+        supporting = backends_supporting(request.rule) or ["<none>"]
+        raise ValueError(
+            f"async mode {caps.name!r} does not support update rule "
+            f"{request.rule!r} (it supports: {', '.join(caps.resolved_rules())}); "
+            f"modes supporting {request.rule!r}: {', '.join(supporting)}"
+        )
+    return backend.run(request)
+
+
+register_backend(PerSampleBackend())
+register_backend(BatchedBackend())
+register_backend(ThreadsBackend())
+register_backend(ProcessBackend())
+
+
+__all__ = [
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "PerSampleBackend",
+    "BatchedBackend",
+    "ThreadsBackend",
+    "ProcessBackend",
+    "available_backend_names",
+    "backend_capabilities",
+    "backends_supporting",
+    "capability_matrix",
+    "execute",
+    "get_backend",
+    "register_backend",
+]

@@ -1,9 +1,12 @@
 """Solver family.
 
 Serial baselines (SGD, IS-SGD, SVRG, SAGA, full GD) and the asynchronous
-solvers (ASGD / Hogwild and SVRG-ASGD) the paper compares against.  The
-paper's own contribution, IS-ASGD, lives in :mod:`repro.core.is_asgd` and
-shares the same :class:`~repro.solvers.base.BaseSolver` interface.
+solvers (ASGD / Hogwild, SVRG-ASGD and SAGA-ASGD) the paper compares
+against or that the runtime layer unlocks.  The paper's own contribution,
+IS-ASGD, lives in :mod:`repro.core.is_asgd` and shares the same
+:class:`~repro.solvers.base.BaseSolver` interface.  The asynchronous
+solvers are thin declarations over :mod:`repro.runtime` — a registered
+update rule plus sampler configuration, executable on any backend.
 """
 
 from repro.solvers.base import BaseSolver, Problem
@@ -15,6 +18,7 @@ from repro.solvers.svrg import SVRGSolver
 from repro.solvers.saga import SAGASolver
 from repro.solvers.asgd import ASGDSolver
 from repro.solvers.svrg_asgd import SVRGASGDSolver
+from repro.solvers.saga_asgd import SAGAASGDSolver
 from repro.solvers.minibatch import MiniBatchSGDSolver
 from repro.solvers.registry import available_solvers, make_solver
 
@@ -29,6 +33,7 @@ __all__ = [
     "SAGASolver",
     "ASGDSolver",
     "SVRGASGDSolver",
+    "SAGAASGDSolver",
     "MiniBatchSGDSolver",
     "available_solvers",
     "make_solver",

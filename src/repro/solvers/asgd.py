@@ -1,101 +1,38 @@
 """Asynchronous SGD (Hogwild-style), the paper's acceleration target.
 
-The solver partitions the data uniformly across ``num_workers`` simulated
-workers, each of which samples uniformly from its local shard; the shared
-model is updated lock-free through the perturbed-iterate simulator.  A real
-``threading`` backend can be selected for functional validation (see
-:mod:`repro.async_engine.threads`), but the figures use the simulator so
-that the delay τ is a controlled parameter.
+Since the runtime refactor this solver is a thin declaration: it owns the
+*what* — uniform sampling over per-worker shards, the registered ``sgd``
+update rule, the staleness default — and hands the *how* to the execution
+runtime (:mod:`repro.runtime`), which runs the request on whichever of the
+four interchangeable backends ``async_mode`` selects: ``per_sample``
+(ground-truth simulator), ``batched`` (macro-step fast path), ``threads``
+(real lock-free threads) or ``process`` (multi-process sharded parameter
+server with measured wall-clock).
+
+``SparseSGDUpdateRule`` / ``BatchedSparseSGDRule`` remain as aliases of the
+single rule definition in :mod:`repro.rules.sgd` for backward
+compatibility: the scalar entry point *is* the batched one applied to a
+block of size one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from repro.async_engine.batched import BatchedSimulator
 from repro.async_engine.modes import resolve_async_mode
-from repro.async_engine.simulator import AsyncSimulator
 from repro.async_engine.staleness import StalenessModel, UniformDelay
-from repro.async_engine.worker import build_workers
 from repro.core.balancing import random_order
 from repro.core.partition import partition_dataset
-from repro.objectives.base import Objective
-from repro.objectives.regularizers import NoRegularizer
+from repro.rules.sgd import SGDRule
 from repro.solvers.base import BaseSolver, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import RandomState, as_rng
 
-
-@dataclass
-class SparseSGDUpdateRule:
-    """SGD-style update computed from a stale coordinate view.
-
-    The rule reconstructs the perturbed iterate on the sample support,
-    evaluates the loss derivative there and returns the index-compressed
-    delta ``-λ * weight * ∇f_i(ŵ)``.
-    """
-
-    objective: Objective
-    step_size: float
-
-    def compute_update(
-        self,
-        stale_coords: np.ndarray,
-        x_idx: np.ndarray,
-        x_val: np.ndarray,
-        y: float,
-        step_weight: float,
-    ) -> Tuple[np.ndarray, int]:
-        margin = float(np.dot(x_val, stale_coords)) if x_idx.size else 0.0
-        coef = self.objective._loss_derivative(margin, y)
-        values = coef * x_val
-        reg = self.objective.regularizer
-        if x_idx.size and type(reg).__name__ != "NoRegularizer":
-            # Separable regularisers only depend on the coordinate values, so
-            # the stale view of the support is all that is needed.
-            proxy = np.ascontiguousarray(stale_coords, dtype=np.float64)
-            values = values + reg.grad_coords(proxy, np.arange(proxy.shape[0]))
-        delta = -self.step_size * step_weight * values
-        return delta, 0
-
-
-@dataclass
-class BatchedSparseSGDRule:
-    """Macro-step counterpart of :class:`SparseSGDUpdateRule`.
-
-    Computes a whole block of SGD deltas from the block-start margins: the
-    loss derivatives come from the objective's batch API and the separable
-    regulariser is evaluated coordinate-wise on the gathered support, so one
-    scatter-add applies the entire macro-step.
-    """
-
-    objective: Objective
-    step_size: float
-    records_per_iteration: int = 1
-    grad_nnz_multiplier: int = 1
-    dense_delta = None
-
-    def block_entry_weights(
-        self,
-        *,
-        w: np.ndarray,
-        rows: np.ndarray,
-        y: np.ndarray,
-        margins: np.ndarray,
-        step_weights: np.ndarray,
-        idx: np.ndarray,
-        val: np.ndarray,
-        lengths: np.ndarray,
-    ) -> np.ndarray:
-        coeffs = self.objective.batch_grad_coeffs(margins, y)
-        entry = np.repeat(step_weights * coeffs, lengths) * val
-        reg = self.objective.regularizer
-        if idx.size and not isinstance(reg, NoRegularizer):
-            entry = entry + np.repeat(step_weights, lengths) * reg.grad_coords(w, idx)
-        return -self.step_size * entry
+#: Backward-compatible aliases — the update math lives in ``repro.rules``.
+SparseSGDUpdateRule = SGDRule
+BatchedSparseSGDRule = SGDRule
 
 
 class ASGDSolver(BaseSolver):
@@ -104,30 +41,32 @@ class ASGDSolver(BaseSolver):
     Parameters
     ----------
     num_workers:
-        Degree of simulated concurrency (the paper's thread count).
+        Degree of concurrency (the paper's thread count).
     staleness:
-        Delay model; defaults to ``UniformDelay(num_workers)``, matching the
-        assumption that the maximum delay is proportional to concurrency.
+        Delay model for the simulated tiers; defaults to
+        ``UniformDelay(num_workers - 1)``, matching the assumption that the
+        maximum delay is proportional to concurrency.
     backend:
         ``"simulated"`` (default) runs the engine selected by
         ``async_mode``; ``"threads"`` is a backward-compatible alias for
         ``async_mode="threads"``.
     async_mode:
-        Execution engine: ``"per_sample"`` (simulated ground truth),
-        ``"batched"`` (simulated macro-step fast path through the kernel
-        layer), ``"threads"`` (real lock-free threads, GIL-bound) or
-        ``"process"`` (true multi-process sharded parameter server with
-        measured wall-clock — see :mod:`repro.cluster`); ``None`` resolves
-        via :mod:`repro.async_engine.modes` (``REPRO_ASYNC_MODE``).
+        Execution backend, resolved through the runtime registry:
+        ``"per_sample"``, ``"batched"``, ``"threads"`` or ``"process"``;
+        ``None`` resolves via :mod:`repro.async_engine.modes`
+        (``REPRO_ASYNC_MODE``).  See ``docs/runtime.md`` for the
+        capability matrix.
     batch_size:
-        Macro-step length for the batched/process engines (``"auto"``
-        scales with the engine's own heuristic).
+        Macro-step length for the batched/process backends (``"auto"``
+        scales with the backend's own heuristic).
     shard_scheme / num_shards:
         Parameter-shard layout for ``async_mode="process"`` (``"range"``
         or ``"coloring"``; shards default to the worker count).
     """
 
     name = "asgd"
+    #: Registered update rule this solver declares.
+    rule = "sgd"
 
     def __init__(
         self,
@@ -182,111 +121,17 @@ class ASGDSolver(BaseSolver):
     def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
         """Run asynchronous SGD on ``problem``."""
         rng = as_rng(self.seed)
-        if self.async_mode == "threads":
-            return self._fit_threads(problem, rng, initial_weights)
-        if self.async_mode == "process":
-            return self._fit_process(problem, rng, initial_weights)
-        return self._fit_simulated(problem, rng, initial_weights)
-
-    # ------------------------------------------------------------------ #
-    def _fit_process(self, problem: Problem, rng, initial_weights) -> TrainResult:
         partition = self._build_partition(problem, rng)
-        return self._run_cluster(
+        return self._execute_async(
             problem,
             partition,
-            rule="sgd",
-            seed=int(rng.integers(0, 2**31 - 1)),
+            rng,
+            rule=self.rule,
+            staleness=self.staleness or UniformDelay(max(self.num_workers - 1, 0)),
             include_sampling=False,
+            extra_info={"num_workers": self.num_workers},
             initial_weights=initial_weights,
         )
-
-    # ------------------------------------------------------------------ #
-    def _fit_simulated(self, problem: Problem, rng, initial_weights) -> TrainResult:
-        partition = self._build_partition(problem, rng)
-        iterations_per_worker = max(1, problem.n_samples // self.num_workers)
-        workers = build_workers(
-            partition,
-            iterations_per_worker,
-            seed=int(rng.integers(0, 2**31 - 1)),
-            importance_sampling=False,
-        )
-        staleness = self.staleness or UniformDelay(max(self.num_workers - 1, 0))
-        sim_seed = int(rng.integers(0, 2**31 - 1))
-        if self.async_mode == "batched":
-            simulator = BatchedSimulator(
-                X=problem.X,
-                y=problem.y,
-                workers=workers,
-                update_rule=BatchedSparseSGDRule(
-                    objective=problem.objective, step_size=self.step_size
-                ),
-                staleness=staleness,
-                seed=sim_seed,
-                batch_size=self.batch_size,
-                kernel=self.kernel,
-            )
-        else:
-            simulator = AsyncSimulator(
-                X=problem.X,
-                y=problem.y,
-                workers=workers,
-                update_rule=SparseSGDUpdateRule(
-                    objective=problem.objective, step_size=self.step_size
-                ),
-                staleness=staleness,
-                seed=sim_seed,
-            )
-        sim_result = simulator.run(self.epochs, initial_weights=initial_weights,
-                                   keep_epoch_weights=True)
-        info = {
-            "backend": "simulated",
-            "async_mode": self.async_mode,
-            "num_workers": self.num_workers,
-            "max_delay": staleness.max_delay,
-            "conflict_rate": sim_result.trace.conflict_rate(),
-        }
-        return self._finalize(
-            problem,
-            sim_result.epoch_weights or [sim_result.weights],
-            sim_result.trace,
-            include_sampling=False,
-            info=info,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _fit_threads(self, problem: Problem, rng, initial_weights) -> TrainResult:
-        from repro.async_engine.events import EpochEvent, ExecutionTrace
-        from repro.async_engine.threads import HogwildThreadPool
-
-        partition = self._build_partition(problem, rng)
-        pool = HogwildThreadPool(
-            problem.X,
-            problem.y,
-            problem.objective,
-            partition,
-            step_size=self.step_size,
-            importance_sampling=False,
-            seed=int(rng.integers(0, 2**31 - 1)),
-        )
-        if initial_weights is not None:
-            pool.weights[:] = initial_weights
-        iterations_per_worker = max(1, problem.n_samples // self.num_workers)
-
-        trace = ExecutionTrace()
-        weights_by_epoch = []
-        avg_nnz = problem.X.nnz / max(problem.n_samples, 1)
-
-        def callback(epoch: int, weights: np.ndarray) -> None:
-            event = EpochEvent(epoch=epoch)
-            total_iters = iterations_per_worker * self.num_workers
-            event.iterations = total_iters
-            event.sparse_coordinate_updates = int(total_iters * avg_nnz)
-            trace.add_epoch(event)
-            weights_by_epoch.append(weights)
-
-        pool.run(self.epochs, iterations_per_worker, epoch_callback=callback)
-        info = {"backend": "threads", "async_mode": "threads", "num_workers": self.num_workers}
-        return self._finalize(problem, weights_by_epoch, trace, include_sampling=False, info=info)
 
 
 __all__ = ["ASGDSolver", "SparseSGDUpdateRule", "BatchedSparseSGDRule"]

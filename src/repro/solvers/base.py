@@ -223,63 +223,68 @@ class BaseSolver(ABC):
             info=dict(info or {}),
         )
 
-    def _run_cluster(
+    def _execute_async(
         self,
         problem: Problem,
         partition,
+        rng,
         *,
         rule: str,
-        seed: int,
+        staleness,
         include_sampling: bool,
-        importance_sampling: bool = False,
-        step_clip: float = 100.0,
-        skip_dense_term: bool = False,
-        count_sample_draws: Optional[bool] = None,
         extra_info: Optional[Dict[str, Any]] = None,
         initial_weights: Optional[np.ndarray] = None,
+        importance_sampling: bool = False,
+        step_clip: float = 100.0,
+        reshuffle: bool = True,
+        regenerate: bool = False,
     ) -> TrainResult:
-        """Run ``async_mode="process"`` through the cluster tier.
+        """Run an async solver's declaration through the execution runtime.
 
-        Shared by the asynchronous solvers: builds the
-        :class:`~repro.cluster.ClusterDriver` from the solver's shard/batch
-        configuration, runs it, and finalises with the *measured*
-        wall-clock axis.  ``extra_info`` carries solver-specific
-        diagnostics into the result's info dict.  Callers must define
-        ``shard_scheme`` / ``num_shards`` / ``batch_size`` (all async
+        Shared by every asynchronous solver: draws the worker/engine seeds
+        from ``rng`` (in that order), fills the
+        :class:`~repro.runtime.ExecutionRequest`, dispatches to the backend
+        ``self.async_mode`` selects and finalises the result — with the
+        *measured* wall-clock axis whenever the backend provides one.
+        ``extra_info`` carries solver-specific diagnostics into the result's
+        info dict (backend info wins on shared keys).  Callers must define
+        ``batch_size`` / ``shard_scheme`` / ``num_shards`` (all async
         solvers do); a solver without them fails loudly rather than
         silently running with defaults.
         """
-        from repro.cluster import ClusterDriver
+        from repro.runtime import ExecutionRequest, execute
 
-        driver = ClusterDriver(
-            problem.X,
-            problem.y,
-            problem.objective,
-            partition,
+        request = ExecutionRequest(
+            X=problem.X,
+            y=problem.y,
+            objective=problem.objective,
+            partition=partition,
+            rule=rule,
             step_size=self.step_size,
+            epochs=self.epochs,
+            worker_seed=int(rng.integers(0, 2**31 - 1)),
+            engine_seed=int(rng.integers(0, 2**31 - 1)),
             importance_sampling=importance_sampling,
             step_clip=step_clip,
-            rule=rule,
-            skip_dense_term=skip_dense_term,
-            count_sample_draws=count_sample_draws,
+            staleness=staleness,
+            batch_size=self.batch_size,
             shard_scheme=self.shard_scheme,
             num_shards=self.num_shards,
-            batch_size=self.batch_size,
-            kernel_name=self.kernel.name,
-            seed=seed,
+            kernel=self.kernel,
+            initial_weights=initial_weights,
+            reshuffle=reshuffle,
+            regenerate=regenerate,
         )
-        run = driver.run(self.epochs, initial_weights=initial_weights)
+        result = execute(self.async_mode, request)
         info = dict(extra_info or {})
-        info["async_mode"] = "process"
-        info["conflict_rate"] = run.trace.conflict_rate()
-        info.update(run.info)
+        info.update(result.info)
         return self._finalize(
             problem,
-            run.epoch_weights or [run.weights],
-            run.trace,
+            result.epoch_weights or [result.weights],
+            result.trace,
             include_sampling=include_sampling,
             info=info,
-            wall_clock=run.wall_clock,
+            wall_clock=result.wall_clock,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

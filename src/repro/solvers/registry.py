@@ -54,6 +54,12 @@ def _make_svrg_asgd(**kwargs) -> BaseSolver:
     return SVRGASGDSolver(**kwargs)
 
 
+def _make_saga_asgd(**kwargs) -> BaseSolver:
+    from repro.solvers.saga_asgd import SAGAASGDSolver
+
+    return SAGAASGDSolver(**kwargs)
+
+
 def _make_is_asgd(**kwargs) -> BaseSolver:
     from repro.core.is_asgd import ISASGDSolver
 
@@ -76,9 +82,23 @@ _FACTORIES: Dict[str, Callable[..., BaseSolver]] = {
     "saga": _make_saga,
     "asgd": _make_asgd,
     "svrg_asgd": _make_svrg_asgd,
+    "saga_asgd": _make_saga_asgd,
     "is_asgd": _make_is_asgd,
     "minibatch_sgd": _make_minibatch_sgd,
 }
+
+#: Solvers that execute through the runtime layer (accept ``async_mode``).
+ASYNC_SOLVER_NAMES = ("asgd", "is_asgd", "svrg_asgd", "saga_asgd")
+
+
+def async_solver_names() -> List[str]:
+    """Registry names of the solvers that accept ``async_mode``.
+
+    The experiment store and CLI use this to decide which runs carry an
+    execution-backend dimension in their identity, instead of hard-coding
+    the solver list in several places.
+    """
+    return list(ASYNC_SOLVER_NAMES)
 
 
 def available_solvers() -> List[str]:
@@ -118,6 +138,7 @@ _CLASS_PATHS: Dict[str, str] = {
     "saga": "repro.solvers.saga:SAGASolver",
     "asgd": "repro.solvers.asgd:ASGDSolver",
     "svrg_asgd": "repro.solvers.svrg_asgd:SVRGASGDSolver",
+    "saga_asgd": "repro.solvers.saga_asgd:SAGAASGDSolver",
     "is_asgd": "repro.core.is_asgd:ISASGDSolver",
     "minibatch_sgd": "repro.solvers.minibatch:MiniBatchSGDSolver",
 }
@@ -146,4 +167,11 @@ def solver_class(name: str) -> type:
     return getattr(importlib.import_module(module_name), class_name)
 
 
-__all__ = ["available_solvers", "make_solver", "register_solver", "solver_class"]
+__all__ = [
+    "ASYNC_SOLVER_NAMES",
+    "async_solver_names",
+    "available_solvers",
+    "make_solver",
+    "register_solver",
+    "solver_class",
+]

@@ -1,22 +1,18 @@
-"""Asynchronous SVRG (Algorithm 1 of the paper, the "SVRG-ASGD" baseline).
+"""Asynchronous SAGA — a paper-adjacent scenario unlocked by the runtime.
 
-Workers run lock-free over the shared model; once per epoch a snapshot
-``s = w`` and its full gradient ``µ = ∇F(s)`` are computed, and every inner
-iteration applies the variance-reduced gradient
-``v_t = ∇f_i(ŵ_t) - ∇f_i(s) + µ``.  The implementation follows the
-literature version faithfully — the dense ``µ`` is added at *every*
-iteration (no skip-µ approximation) — because the paper explicitly
-evaluates that version; the approximation is available as an ablation flag.
+The paper lumps SAGA with SVRG as "SVRG-styled" variance reduction: both
+pay a dense per-iteration term on sparse data (SAGA's running average
+gradient ``ḡ`` plays µ's role), so both lose the absolute-time race to
+IS-ASGD even while winning per epoch.  The original codebase only ran SAGA
+serially; with the update math factored into the single
+:class:`~repro.rules.saga.SAGARule` definition, the asynchronous variant
+costs *one declaration* — this file — and immediately runs on all four
+execution tiers (per-sample ground truth, batched macro-steps, real
+threads, and the multi-process cluster, where the coefficient table and
+``ḡ`` live in shared memory).
 
-The per-iteration dense cost is what makes this solver lose the absolute
-convergence race on sparse data even though it wins per epoch.
-
-The whole algorithm — the inner update *and* the per-epoch sync step — is
-the registered ``svrg`` / ``svrg_skip_dense`` rule
-(:mod:`repro.rules.svrg`); this solver only declares the sampler
-configuration and hands execution to the runtime, so all four backends run
-the identical definition.  ``BatchedSVRGRule`` remains as a
-backward-compatible alias of that rule class.
+Asynchrony-specific semantics (lock-free ``ḡ`` updates, per-block state
+freezing on the batched tiers) are documented on the rule.
 """
 
 from __future__ import annotations
@@ -29,24 +25,22 @@ from repro.async_engine.modes import resolve_async_mode
 from repro.async_engine.staleness import StalenessModel, UniformDelay
 from repro.core.balancing import random_order
 from repro.core.partition import partition_dataset
-from repro.rules.svrg import SVRGRule
 from repro.solvers.base import BaseSolver, Problem
 from repro.solvers.results import TrainResult
 from repro.utils.rng import RandomState, as_rng
 
-#: Backward-compatible alias — the update math lives in ``repro.rules``.
-BatchedSVRGRule = SVRGRule
 
+class SAGAASGDSolver(BaseSolver):
+    """Lock-free asynchronous SAGA with uniform sampling.
 
-class SVRGASGDSolver(BaseSolver):
-    """Lock-free asynchronous SVRG (generic SVRG-styled ASGD of Algorithm 1).
-
-    Parameters mirror :class:`~repro.solvers.asgd.ASGDSolver`;
-    ``skip_dense_term`` selects the paper's skip-µ ablation (registered as
-    the ``svrg_skip_dense`` rule).
+    Parameters mirror :class:`~repro.solvers.asgd.ASGDSolver`; the update
+    rule is the registered ``saga`` definition (coefficient table + running
+    average gradient shared across workers).
     """
 
-    name = "svrg_asgd"
+    name = "saga_asgd"
+    #: Registered update rule this solver declares.
+    rule = "saga"
 
     def __init__(
         self,
@@ -58,7 +52,6 @@ class SVRGASGDSolver(BaseSolver):
         cost_model=None,
         record_every: int = 1,
         staleness: Optional[StalenessModel] = None,
-        skip_dense_term: bool = False,
         kernel=None,
         async_mode: Optional[str] = None,
         batch_size="auto",
@@ -71,7 +64,6 @@ class SVRGASGDSolver(BaseSolver):
             raise ValueError("num_workers must be >= 1")
         self.num_workers = int(num_workers)
         self.staleness = staleness
-        self.skip_dense_term = bool(skip_dense_term)
         self.async_mode = resolve_async_mode(async_mode)
         self.batch_size = batch_size
         self.shard_scheme = shard_scheme
@@ -81,13 +73,8 @@ class SVRGASGDSolver(BaseSolver):
     def parallel_workers(self) -> int:
         return self.num_workers
 
-    @property
-    def rule(self) -> str:
-        """Registered update rule this solver declares."""
-        return "svrg_skip_dense" if self.skip_dense_term else "svrg"
-
     def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
-        """Run asynchronous SVRG on ``problem``."""
+        """Run asynchronous SAGA on ``problem``."""
         rng = as_rng(self.seed)
         order = random_order(problem.n_samples, seed=rng)
         partition = partition_dataset(order, problem.lipschitz_constants(), self.num_workers,
@@ -99,12 +86,9 @@ class SVRGASGDSolver(BaseSolver):
             rule=self.rule,
             staleness=self.staleness or UniformDelay(max(self.num_workers - 1, 0)),
             include_sampling=False,
-            extra_info={
-                "num_workers": self.num_workers,
-                "skip_dense_term": self.skip_dense_term,
-            },
+            extra_info={"num_workers": self.num_workers},
             initial_weights=initial_weights,
         )
 
 
-__all__ = ["SVRGASGDSolver", "BatchedSVRGRule"]
+__all__ = ["SAGAASGDSolver"]

@@ -28,6 +28,25 @@ class TestList:
         assert "process" in registries["async_modes"]
         assert "figures" in registries["configs"]
         assert "news20_smoke" in registries["datasets"]
+        assert "saga" in registries["rules"]
+
+    def test_backends_capability_matrix(self, capsys):
+        code, out, _ = _run(capsys, "list", "--json")
+        assert code == 0
+        matrix = json.loads(out)["backends"]
+        assert [row["backend"] for row in matrix] == [
+            "per_sample", "batched", "threads", "process"
+        ]
+        process = matrix[-1]
+        assert process["true_parallelism"] and process["measured_wall_clock"]
+        for row in matrix:
+            assert "saga" in row["rules"]
+
+    def test_backends_table_printed(self, capsys):
+        code, out, _ = _run(capsys, "list")
+        assert code == 0
+        assert "execution backends" in out
+        assert "per_sample" in out and "measured_time" in out
 
     def test_empty_store(self, tmp_path, capsys):
         code, out, _ = _run(capsys, "list", "--store", str(tmp_path / "none"))

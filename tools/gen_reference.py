@@ -36,8 +36,9 @@ HEADER = """\
 
 Every name below is live registry state: solvers from
 `repro.solvers.registry`, objectives from `repro.objectives.registry`,
-kernel backends from `repro.kernels.registry`, async modes from
-`repro.async_engine.modes`, experiment configurations from
+kernel backends from `repro.kernels.registry`, execution backends (async
+modes) and their capability matrix from `repro.runtime`, update rules from
+`repro.rules`, experiment configurations from
 `repro.experiments.configs` and datasets from `repro.datasets.catalog`.
 Pass the names to `python -m repro` (see [cli.md](cli.md)) or to the
 corresponding `make_*` factory.
@@ -131,19 +132,45 @@ def _kernels_section() -> list[str]:
 
 
 def _async_modes_section() -> list[str]:
-    from repro.async_engine.modes import (
-        DEFAULT_ASYNC_MODE,
-        async_mode_description,
-        available_async_modes,
-    )
+    from repro.async_engine.modes import DEFAULT_ASYNC_MODE
+    from repro.runtime import capability_matrix
 
-    lines = ["## Async execution modes", "",
+    def _flag(value: bool) -> str:
+        return "yes" if value else "-"
+
+    lines = ["## Execution backends (async modes)", "",
              "Selected per solver (`async_mode=`), per process "
-             "(`set_default_async_mode`) or via `REPRO_ASYNC_MODE`.", "",
-             "| name | description |", "| --- | --- |"]
-    for name in available_async_modes():
+             "(`set_default_async_mode`) or via `REPRO_ASYNC_MODE`; the "
+             "capability matrix comes from the `repro.runtime` backend "
+             "registry (see [runtime.md](runtime.md)).", "",
+             "| name | batching | true parallelism | measured time | deterministic | rules | description |",
+             "| --- | --- | --- | --- | --- | --- | --- |"]
+    for row in capability_matrix():
+        name = row["backend"]
         marker = " (default)" if name == DEFAULT_ASYNC_MODE else ""
-        lines.append(f"| `{name}`{marker} | {async_mode_description(name)} |")
+        rules = " ".join(f"`{r}`" for r in row["rules"])
+        lines.append(
+            f"| `{name}`{marker} | {_flag(row['supports_batching'])} "
+            f"| {_flag(row['true_parallelism'])} | {_flag(row['measured_wall_clock'])} "
+            f"| {_flag(row['deterministic'])} | {rules} | {row['description']} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _rules_section() -> list[str]:
+    from repro.rules import available_rules, rule_description
+    from repro.runtime import backends_supporting
+
+    lines = ["## Update rules", "",
+             "Single-source update-rule definitions from `repro.rules` "
+             "(`make_rule(name, objective, step_size)`); every backend "
+             "listing a rule in its capabilities executes the same "
+             "definition.", "",
+             "| name | backends | description |", "| --- | --- | --- |"]
+    for name in available_rules():
+        backends = " ".join(f"`{b}`" for b in backends_supporting(name))
+        lines.append(f"| `{name}` | {backends} | {rule_description(name)} |")
     lines.append("")
     return lines
 
@@ -192,6 +219,7 @@ def generate() -> str:
         _objectives_section(),
         _kernels_section(),
         _async_modes_section(),
+        _rules_section(),
         _configs_section(),
         _datasets_section(),
     ]
