@@ -11,6 +11,8 @@ so the output can be inspected and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -24,6 +26,26 @@ from repro.experiments.runner import ExperimentRunner
 BENCH_THREADS = (4, 8, 16)
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_environment() -> dict:
+    """Provenance block shared by every ``BENCH_*.json`` writer.
+
+    Records which kernel backend produced the numbers and on what machine,
+    so recorded perf points stay comparable across PRs and runners.
+    """
+    from repro.cluster import available_parallelism
+    from repro.kernels import default_backend_name, native_status
+
+    return {
+        "kernel_backend": default_backend_name(),
+        "native_backend_status": native_status(),
+        "cpu_count": os.cpu_count(),
+        "available_parallelism": available_parallelism(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
 
 
 def write_result(name: str, text: str) -> Path:

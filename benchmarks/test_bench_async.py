@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_environment, write_result
 from repro.core.is_asgd import ISASGDSolver
 from repro.datasets.synthetic import SyntheticSpec, make_sparse_classification
 from repro.objectives.logistic import LogisticObjective
@@ -82,6 +82,7 @@ def test_bench_async_engines(benchmark):
                 "epochs": EPOCHS,
                 "batch_size": BATCH_SIZE,
             },
+            "environment": bench_environment(),
         }
 
         def is_asgd(mode, **kw):

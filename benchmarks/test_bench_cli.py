@@ -19,7 +19,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_environment, write_result
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ROOT_JSON = REPO_ROOT / "BENCH_cli.json"
@@ -52,6 +52,7 @@ def test_cli_sweep_warm_reuse_speedup(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     result = json.loads(output.read_text())
+    result["environment"] = bench_environment()
 
     payload = json.dumps(result, indent=2)
     write_result("BENCH_cli.json", payload)

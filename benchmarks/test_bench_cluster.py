@@ -26,7 +26,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_environment, write_result
 from repro.cluster import ClusterDriver, available_parallelism, occupancy_skew
 from repro.core.balancing import random_order
 from repro.core.partition import partition_dataset
@@ -83,7 +83,7 @@ def test_bench_cluster_speedup(benchmark):
                 "speedup_gate": SPEEDUP_GATE,
                 "required_cores": REQUIRED_CORES,
             },
-            "environment": {"available_parallelism": cores},
+            "environment": bench_environment(),
             "runs": {},
         }
 

@@ -35,7 +35,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import bench_environment, write_result
 from repro.cluster import ClusterDriver, available_parallelism
 from repro.core.balancing import random_order
 from repro.core.is_asgd import ISASGDSolver
@@ -110,7 +110,7 @@ def test_bench_runtime_engines_and_dispatch(benchmark):
                 "cluster_epochs": CLUSTER_EPOCHS,
                 "dispatch_gate": DISPATCH_GATE,
             },
-            "environment": {"available_parallelism": available_parallelism()},
+            "environment": bench_environment(),
         }
 
         # ---- gate 1: batched engine throughput on the shared rules ---- #

@@ -3,8 +3,39 @@
 Present only so that ``pip install -e . --no-use-pep517`` works on
 environments without the ``wheel`` package (offline machines); all project
 metadata lives in ``pyproject.toml``.
+
+As a convenience, building the package also best-effort pre-compiles the
+``native`` kernel extension so installed environments do not pay the
+build-on-first-use cost.  The prebuild is strictly optional: on machines
+without cffi or a C compiler it is skipped with a notice and the install
+proceeds — the runtime falls back to the ``vectorized`` backend exactly as
+if the extension had never been built.
 """
 
-from setuptools import setup
+import os
+import sys
 
-setup()
+from setuptools import setup
+from setuptools.command.build_py import build_py
+
+
+class build_py_with_native(build_py):
+    """Standard build_py plus an optional native-kernel prebuild."""
+
+    def run(self):
+        super().run()
+        src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+        sys.path.insert(0, src)
+        try:
+            from repro.kernels.native import builder
+
+            builder.load_native_lib()
+            print("repro: prebuilt native kernel extension")
+        except Exception as exc:  # never fail the install over the fast path
+            print(f"repro: skipping native kernel prebuild ({exc})")
+        finally:
+            if sys.path and sys.path[0] == src:
+                sys.path.pop(0)
+
+
+setup(cmdclass={"build_py": build_py_with_native})

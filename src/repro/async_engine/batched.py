@@ -405,17 +405,29 @@ class BatchedSimulator:
         delays = self.staleness.draw_batch(self._rng, n_iter)
 
         idx, val, lengths = self.X.gather_rows(rows)
-        margins = self.kernel.segment_margins(idx, val, lengths, w)
-        entry_weights = rule.block_entry_weights(
-            w=w,
-            rows=rows,
-            y=self.y[rows],
-            margins=margins,
-            step_weights=step_weights,
-            idx=idx,
-            val=val,
-            lengths=lengths,
+        # Stateless SGD-style rules on a kernel with a fused frozen-block
+        # primitive skip the composable margins → entry-weights → scatter
+        # sequence: the whole macro-step (same frozen-margin semantics, same
+        # regulariser-at-block-start evaluation) runs as one native call
+        # after the conflict replay below.
+        fused = (
+            getattr(rule, "frozen_fusable", False)
+            and getattr(self.kernel, "fused_sample_block", False)
+            and self.kernel.supports_objective(rule.objective)
         )
+        entry_weights = None
+        if not fused:
+            margins = self.kernel.segment_margins(idx, val, lengths, w)
+            entry_weights = rule.block_entry_weights(
+                w=w,
+                rows=rows,
+                y=self.y[rows],
+                margins=margins,
+                step_weights=step_weights,
+                idx=idx,
+                val=val,
+                lengths=lengths,
+            )
 
         # Register the support of the rule's dense delta (one mask per
         # distinct vector — SVRG installs a fresh -λµ each epoch), then
@@ -432,7 +444,13 @@ class BatchedSimulator:
 
         if dense is not None:
             w += n_iter * dense
-        self.kernel.scatter_add(w, idx, entry_weights)
+        if fused:
+            self.kernel.run_frozen_block(
+                w, rule.objective, idx, val, lengths, self.y[rows],
+                -rule.step_size * step_weights,
+            )
+        else:
+            self.kernel.scatter_add(w, idx, entry_weights)
         self._log.append(*block_records)
         self._prune_dense_masks()
 

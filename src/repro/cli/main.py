@@ -45,7 +45,7 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "--backend",
         default=None,
         help="compute-kernel backend for all solvers "
-        "(reference, vectorized; default: kernel registry default)",
+        "(reference, vectorized, native; default: kernel registry default)",
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed (default 0)")
 
@@ -406,7 +406,11 @@ def cmd_list(args: argparse.Namespace) -> int:
 
     from repro.async_engine.modes import available_async_modes, default_async_mode
     from repro.datasets.catalog import list_datasets
-    from repro.kernels.registry import available_backends, default_backend_name
+    from repro.kernels.registry import (
+        available_backends,
+        backend_availability,
+        default_backend_name,
+    )
     from repro.objectives.registry import available_objectives
     from repro.rules import available_rules, rule_description
     from repro.runtime import capability_matrix
@@ -422,8 +426,10 @@ def cmd_list(args: argparse.Namespace) -> int:
         "configs": available_configs(),
     }
     matrix = capability_matrix()
+    kernel_status = backend_availability()
     if args.json:
         payload = dict(registries)
+        payload["kernel_backend_status"] = kernel_status
         payload["backends"] = matrix
         print(json.dumps(payload, indent=2))
         return 0
@@ -433,8 +439,12 @@ def cmd_list(args: argparse.Namespace) -> int:
             suffix = ""
             if name == "async_modes" and value == default_async_mode():
                 suffix = "  (default)"
-            elif name == "kernel_backends" and value == default_backend_name():
-                suffix = "  (default)"
+            elif name == "kernel_backends":
+                status = kernel_status.get(value)
+                if status and status != "available":
+                    suffix = f"  [{status}]"
+                if value == default_backend_name():
+                    suffix += "  (default)"
             elif name == "rules":
                 suffix = f"  — {rule_description(value)}"
             elif name == "configs":
@@ -448,6 +458,7 @@ def cmd_list(args: argparse.Namespace) -> int:
             "parallel": "yes" if row["true_parallelism"] else "-",
             "measured_time": "yes" if row["measured_wall_clock"] else "-",
             "deterministic": "yes" if row["deterministic"] else "-",
+            "fused_loop": "yes" if row.get("fused_kernel_loop") else "-",
             "rules": " ".join(row["rules"]),
         }
         for row in matrix

@@ -222,8 +222,10 @@ class ClusterDriver:
                     np.ascontiguousarray(initial_weights, dtype=np.float64)
                 )
             arena.create("x_data", self.X.data.shape, "float64", initial=self.X.data)
-            arena.create("x_indices", self.X.indices.shape, "int64", initial=self.X.indices)
-            arena.create("x_indptr", self.X.indptr.shape, "int64", initial=self.X.indptr)
+            # CSRMatrix normalises indices/indptr to int32; matching the
+            # arena dtype keeps the workers' reconstructed views zero-copy.
+            arena.create("x_indices", self.X.indices.shape, "int32", initial=self.X.indices)
+            arena.create("x_indptr", self.X.indptr.shape, "int32", initial=self.X.indptr)
             arena.create("y", self.y.shape, "float64", initial=self.y)
             arena.create("shard_of", (d,), "int64", initial=self.plan.shard_of)
             if self.plan.flat_of is not None:

@@ -17,6 +17,11 @@ Backends
     metrics evaluation, and raw-slice per-sample steps that perform the
     identical floating-point operations as ``reference`` so serial
     trajectories match bitwise.
+``native``
+    cffi-compiled C loops for the CSR primitives and — above all — the
+    fused per-sample block (``run_sample_block`` / ``run_frozen_block``),
+    built on first use and cached; falls back to ``vectorized`` with a
+    single warning when no compiler or cached build is available.
 
 Backend selection
 -----------------
@@ -50,11 +55,19 @@ automatically accelerates every solver, objective and metric.
 """
 
 from repro.kernels.base import KernelBackend, MetricsEval
+from repro.kernels.native import (
+    NativeBuildError,
+    make_native_backend,
+    native_build_error,
+    native_status,
+)
 from repro.kernels.reference import ReferenceKernel
 from repro.kernels.registry import (
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
     available_backends,
+    backend_availability,
+    backend_doc_class,
     default_backend_name,
     get_default_backend,
     make_backend,
@@ -67,14 +80,20 @@ from repro.kernels.vectorized import VectorizedKernel
 __all__ = [
     "KernelBackend",
     "MetricsEval",
+    "NativeBuildError",
     "ReferenceKernel",
     "VectorizedKernel",
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "available_backends",
+    "backend_availability",
+    "backend_doc_class",
     "default_backend_name",
     "get_default_backend",
     "make_backend",
+    "make_native_backend",
+    "native_build_error",
+    "native_status",
     "register_backend",
     "resolve_backend",
     "set_default_backend",

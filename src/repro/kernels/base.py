@@ -7,19 +7,24 @@ objectives and metrics need into one swappable object:
   (:meth:`matvec`, :meth:`rmatvec`, :meth:`margins`) and the scatter-add of
   scaled sparse rows (:meth:`accumulate_rows`);
 * the per-sample hot path — :meth:`row_margin`, :meth:`sample_grad`,
-  :meth:`row_update` and the fused :meth:`sample_update` that one SGD-style
-  iteration consists of;
+  :meth:`row_update`, the fused :meth:`sample_update` that one SGD-style
+  iteration consists of, and the block primitives
+  :meth:`run_sample_block` / :meth:`run_frozen_block` that execute a whole
+  schedule block of such steps in one call;
 * batched objective math — per-sample losses and loss derivatives
   (:meth:`losses`, :meth:`grad_coeffs`) built on the
   :class:`~repro.objectives.base.Objective` batch API;
 * full-dataset quantities — :meth:`full_loss`, :meth:`full_gradient` and
   the one-pass metrics evaluation :meth:`evaluate`.
 
-Two implementations ship with the library: the ``reference`` backend keeps
-the original per-sample Python-loop semantics as ground truth, and the
+Three implementations ship with the library: the ``reference`` backend
+keeps the original per-sample Python-loop semantics as ground truth, the
 ``vectorized`` backend (the default) replaces every batched quantity with
-NumPy segment operations over the raw CSR arrays.  The parity suite in
-``tests/kernels/test_parity.py`` pins the two to each other.
+NumPy segment operations over the raw CSR arrays, and the ``native``
+backend (built on first use with a C compiler, falling back to
+``vectorized`` otherwise) executes the hot loops as compiled C.  The
+registry-driven parity suite in ``tests/kernels/test_parity.py`` pins
+every backend to the reference.
 """
 
 from __future__ import annotations
@@ -49,6 +54,23 @@ class KernelBackend(ABC):
 
     #: Registry name of the backend.
     name: str = "base"
+
+    #: Whether the backend executes :meth:`run_sample_block` /
+    #: :meth:`run_frozen_block` as one fused native call instead of the
+    #: generic per-sample Python loop.  Engines use this to decide whether
+    #: handing a whole schedule block to the kernel is worthwhile; the
+    #: default loop below keeps the primitive available (and bit-equal to
+    #: the historical per-step loop) on every backend either way.
+    fused_sample_block: bool = False
+
+    def supports_objective(self, obj: "Objective") -> bool:
+        """Whether the fused block primitives can dispatch ``obj`` natively.
+
+        Only meaningful when :attr:`fused_sample_block` is true; the
+        generic backends answer ``False`` so callers always take the
+        composable per-step path.
+        """
+        return False
 
     # ------------------------------------------------------------------ #
     # CSR linear algebra
@@ -138,6 +160,59 @@ class KernelBackend(ABC):
         self, w: np.ndarray, obj: "Objective", X: CSRMatrix, i: int, y_i: float, scale: float
     ) -> int:
         """One fused SGD-style step ``w += scale * ∇f_i(w)``; returns ``nnz(x_i)``."""
+
+    def run_sample_block(
+        self,
+        w: np.ndarray,
+        obj: "Objective",
+        X: CSRMatrix,
+        y: np.ndarray,
+        rows: np.ndarray,
+        scales: np.ndarray,
+    ) -> int:
+        """Fused sequential per-sample loop over one schedule block.
+
+        Executes ``rows.size`` consecutive SGD-style steps — row margin →
+        scalar loss derivative → in-place row update ``w += scales[t] *
+        ∇f_{rows[t]}(w)`` — and returns the total ``nnz`` touched.  Step
+        ``t`` observes every earlier step's writes, exactly as the
+        per-step :meth:`sample_update` loop it replaces; the generic
+        implementation *is* that loop, so routing an epoch body through
+        this primitive never changes semantics.  Backends with a native
+        fused loop (see :attr:`fused_sample_block`) override it to execute
+        the whole block in one call.
+        """
+        total = 0
+        for t in range(rows.size):
+            i = int(rows[t])
+            total += self.sample_update(w, obj, X, i, float(y[i]), float(scales[t]))
+        return total
+
+    def run_frozen_block(
+        self,
+        w: np.ndarray,
+        obj: "Objective",
+        idx: np.ndarray,
+        val: np.ndarray,
+        lengths: np.ndarray,
+        y_rows: np.ndarray,
+        scales: np.ndarray,
+    ) -> int:
+        """Fused frozen-margin macro-step over already-gathered rows.
+
+        The one-call equivalent of the batched engine's
+        :meth:`segment_margins` → entry-weight → :meth:`scatter_add`
+        sequence for SGD-style rules: all margins are evaluated at the
+        block-start iterate (and the separable regulariser at the
+        block-start coordinates), then every per-entry delta
+        ``scales[t] * (phi'(m_t) * val + ∇r(w)|_supp)`` is accumulated in
+        gather order.  Only backends advertising
+        :attr:`fused_sample_block` implement it; engines must keep the
+        composable path for everything else.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide a fused frozen-block primitive"
+        )
 
     @abstractmethod
     def batch_grad(

@@ -1,0 +1,169 @@
+"""Build-on-first-use compilation and caching of the native extension.
+
+The shared object is compiled with cffi (out-of-line API mode) the first
+time the ``native`` backend is instantiated, and cached on disk so later
+processes load it without a compiler.  The module name embeds a hash of
+the C source, so editing :mod:`repro.kernels.native.source` transparently
+invalidates stale cached builds.
+
+Cache directory resolution, in order:
+
+1. ``REPRO_NATIVE_BUILD_DIR`` (if set);
+2. ``src/repro/kernels/native/_build`` inside the installed package;
+3. a per-user directory under the system temp dir.
+
+Compilation happens in a private staging directory and the finished shared
+object is promoted into the cache with an atomic rename, so concurrent
+first-use builds (e.g. cluster workers) cannot observe a half-written file.
+
+Every failure mode — cffi missing, no compiler (``CC=/bin/false``), an
+unwritable cache — is normalised to :class:`NativeBuildError` so the
+registry factory can fall back to the vectorized backend cleanly.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import importlib.util
+import os
+import shutil
+import sys
+import sysconfig
+import tempfile
+import threading
+from typing import Any, List, Optional, Tuple
+
+from repro.kernels.native.source import CDEF, SOURCE
+
+#: Environment variable overriding the build/cache directory.
+BUILD_DIR_ENV_VAR = "REPRO_NATIVE_BUILD_DIR"
+
+_lock = threading.Lock()
+_loaded: Optional[Tuple[Any, Any]] = None
+
+
+class NativeBuildError(RuntimeError):
+    """Raised when the native extension cannot be built or loaded."""
+
+
+def module_name() -> str:
+    """Extension module name, keyed by a hash of the C source."""
+    digest = hashlib.sha256((CDEF + SOURCE).encode("utf-8")).hexdigest()[:12]
+    return f"_repro_native_{digest}"
+
+
+def _candidate_dirs() -> List[str]:
+    env = os.environ.get(BUILD_DIR_ENV_VAR, "").strip()
+    if env:
+        # An explicit override is exclusive: it must fully control where the
+        # build is cached *and* looked up (tests rely on this to simulate a
+        # machine without a cached extension).
+        return [env]
+    dirs = [os.path.join(os.path.dirname(os.path.abspath(__file__)), "_build")]
+    dirs.append(
+        os.path.join(tempfile.gettempdir(), f"repro-native-{os.getuid()}")
+        if hasattr(os, "getuid")
+        else os.path.join(tempfile.gettempdir(), "repro-native")
+    )
+    return dirs
+
+
+def cached_lib_path() -> Optional[str]:
+    """Path of an already-compiled shared object, or None (never compiles)."""
+    name = module_name()
+    for d in _candidate_dirs():
+        for path in sorted(glob.glob(os.path.join(glob.escape(d), name + ".*"))):
+            if path.endswith((".so", ".pyd", ".dylib")) or path.endswith(
+                sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+            ):
+                return path
+    return None
+
+
+def _compile() -> str:
+    try:
+        from cffi import FFI
+    except Exception as exc:  # pragma: no cover - cffi is in the dev image
+        raise NativeBuildError(f"cffi is not importable: {exc}") from exc
+
+    ffi = FFI()
+    ffi.cdef(CDEF)
+    name = module_name()
+    ffi.set_source(name, SOURCE, extra_compile_args=["-O2"])
+    stage = tempfile.mkdtemp(prefix="repro-native-build-")
+    try:
+        try:
+            so_path = ffi.compile(tmpdir=stage)
+        except Exception as exc:
+            raise NativeBuildError(f"C compilation failed: {exc}") from exc
+        # Promote the shared object into the first writable cache directory
+        # via copy + atomic rename; fall back to loading from the staging
+        # directory (works for this process, just not cached).
+        for d in _candidate_dirs():
+            dest = os.path.join(d, os.path.basename(so_path))
+            tmp_dest = f"{dest}.tmp-{os.getpid()}"
+            try:
+                os.makedirs(d, exist_ok=True)
+                shutil.copyfile(so_path, tmp_dest)
+                os.replace(tmp_dest, dest)
+                return dest
+            except OSError:
+                try:
+                    os.unlink(tmp_dest)
+                except OSError:
+                    pass
+                continue
+        persistent = tempfile.mkdtemp(prefix="repro-native-")
+        final = os.path.join(persistent, os.path.basename(so_path))
+        shutil.copyfile(so_path, final)
+        return final
+    finally:
+        shutil.rmtree(stage, ignore_errors=True)
+
+
+def _load_so(path: str) -> Tuple[Any, Any]:
+    name = module_name()
+    try:
+        spec = importlib.util.spec_from_file_location(name, path)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"cannot create import spec for {path}")
+        mod = importlib.util.module_from_spec(spec)
+        sys.modules.setdefault(name, mod)
+        spec.loader.exec_module(mod)
+        return mod.ffi, mod.lib
+    except Exception as exc:
+        raise NativeBuildError(f"cannot load native extension {path}: {exc}") from exc
+
+
+def load_native_lib() -> Tuple[Any, Any]:
+    """Return ``(ffi, lib)`` for the compiled extension, building if needed.
+
+    Raises :class:`NativeBuildError` on any failure; never returns a
+    half-initialised library.  Thread-safe and idempotent — the extension
+    is loaded at most once per process.
+    """
+    global _loaded
+    with _lock:
+        if _loaded is not None:
+            return _loaded
+        cached = cached_lib_path()
+        path = cached if cached is not None else _compile()
+        _loaded = _load_so(path)
+        return _loaded
+
+
+def _reset_for_tests() -> None:
+    """Drop the in-process library handle (test isolation only)."""
+    global _loaded
+    with _lock:
+        _loaded = None
+
+
+__all__ = [
+    "BUILD_DIR_ENV_VAR",
+    "NativeBuildError",
+    "cached_lib_path",
+    "load_native_lib",
+    "module_name",
+]

@@ -16,6 +16,7 @@ import os
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.kernels.base import KernelBackend
+from repro.kernels.native import make_native_backend, native_status
 from repro.kernels.reference import ReferenceKernel
 from repro.kernels.vectorized import VectorizedKernel
 
@@ -26,6 +27,7 @@ BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 DEFAULT_BACKEND = "vectorized"
 
 _FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "native": make_native_backend,
     "reference": ReferenceKernel,
     "vectorized": VectorizedKernel,
 }
@@ -42,17 +44,52 @@ def available_backends() -> List[str]:
     return sorted(_FACTORIES)
 
 
+def backend_availability() -> Dict[str, str]:
+    """Availability status per registered backend name (no build side-effects).
+
+    The pure-Python backends are always ``"available"``; ``native`` reports
+    whether a compiled extension is loaded/cached, a fallback was taken, or
+    a build would be attempted on first use.
+    """
+    status: Dict[str, str] = {}
+    for name in available_backends():
+        status[name] = native_status() if name == "native" else "available"
+    return status
+
+
+def _unknown_backend_error(name: str) -> ValueError:
+    details = ", ".join(f"{n} [{s}]" for n, s in sorted(backend_availability().items()))
+    return ValueError(f"unknown kernel backend {name!r}; available: {details}")
+
+
 def make_backend(name: str) -> KernelBackend:
     """Return the (shared) backend instance registered under ``name``."""
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        raise ValueError(
-            f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}"
-        ) from None
+        raise _unknown_backend_error(name) from None
     if name not in _INSTANCES:
         _INSTANCES[name] = factory()
     return _INSTANCES[name]
+
+
+def backend_doc_class(name: str) -> type:
+    """The class documenting ``name``, without instantiating the backend.
+
+    Documentation generators use this instead of :func:`make_backend` so that
+    listing the ``native`` backend never triggers a compilation (or a
+    fallback, which would mis-document it as the vectorized class).
+    """
+    if name not in _FACTORIES:
+        raise _unknown_backend_error(name)
+    if name == "native":
+        from repro.kernels.native.backend import NativeKernel
+
+        return NativeKernel
+    factory = _FACTORIES[name]
+    if isinstance(factory, type):
+        return factory
+    return type(make_backend(name))
 
 
 def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
@@ -73,9 +110,7 @@ def set_default_backend(name: Optional[str]) -> None:
     """Set (or clear, with ``None``) the process-wide default backend."""
     global _default_override
     if name is not None and name not in _FACTORIES:
-        raise ValueError(
-            f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}"
-        )
+        raise _unknown_backend_error(name)
     _default_override = name
 
 
@@ -101,6 +136,8 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "available_backends",
+    "backend_availability",
+    "backend_doc_class",
     "make_backend",
     "register_backend",
     "default_backend_name",

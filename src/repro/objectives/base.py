@@ -27,7 +27,8 @@ class SparseGradient:
     Attributes
     ----------
     indices:
-        Coordinates of the non-zero gradient entries (``int64``).
+        Coordinates of the non-zero gradient entries (integer array;
+        ``int32`` when sliced from a :class:`CSRMatrix` row).
     values:
         Gradient values at those coordinates (``float64``).
     """

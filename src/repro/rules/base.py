@@ -110,6 +110,15 @@ class UpdateRuleKernel:
     #: ``-λµ``, SAGA's ``-λḡ``), or ``None`` for purely sparse rules.
     #: Engines read it right after computing a block/iteration.
     dense_delta: Optional[np.ndarray] = None
+    #: Whether the rule's whole frozen-margin macro-step is exactly
+    #: ``scales[t] * (phi'(m_t) * x_t + ∇r(ŵ)|_supp)`` with
+    #: ``scales = -step_size * step_weights`` — i.e. stateless SGD-style
+    #: math a kernel's fused ``run_frozen_block`` primitive can execute in
+    #: one native call.  Rules with cross-iteration state or extra terms
+    #: must leave this False so engines keep the composable
+    #: ``segment_margins`` → :meth:`block_entry_weights` → ``scatter_add``
+    #: path.
+    frozen_fusable: bool = False
 
     def __init__(self, objective: Objective, step_size: float) -> None:
         self.objective = objective

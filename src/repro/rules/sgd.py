@@ -33,6 +33,10 @@ class SGDRule(UpdateRuleKernel):
     counts_sample_draws = True
     trace_exact_batched = True
     dense_delta = None
+    # The macro-step below is exactly the stateless frozen-margin shape the
+    # fused kernel primitive implements, so batched engines may hand whole
+    # blocks to run_frozen_block on backends that provide it.
+    frozen_fusable = True
 
     def block_entry_weights(
         self,

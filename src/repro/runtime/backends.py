@@ -64,6 +64,11 @@ class BackendCapabilities:
     deterministic:
         Whether one seed reproduces the run bit-for-bit (real concurrency
         is scheduled by the OS and is validated by tolerance instead).
+    fused_kernel_loop:
+        Whether the tier hands whole schedule blocks to the kernel's fused
+        block primitives (``run_sample_block`` / ``run_frozen_block``) when
+        the active backend provides them (the ``native`` kernel), instead
+        of iterating per sample in Python.
     supported_rules:
         Registered rule names this backend can execute, or ``None`` for
         "every rule in the live :mod:`repro.rules` registry" — the
@@ -77,6 +82,7 @@ class BackendCapabilities:
     true_parallelism: bool
     measured_wall_clock: bool
     deterministic: bool
+    fused_kernel_loop: bool = False
     supported_rules: Optional[Tuple[str, ...]] = None
 
     def resolved_rules(self) -> List[str]:
@@ -100,6 +106,7 @@ class BackendCapabilities:
             "true_parallelism": self.true_parallelism,
             "measured_wall_clock": self.measured_wall_clock,
             "deterministic": self.deterministic,
+            "fused_kernel_loop": self.fused_kernel_loop,
             "rules": self.resolved_rules(),
         }
 
@@ -251,6 +258,7 @@ class BatchedBackend(ExecutionBackend):
         true_parallelism=False,
         measured_wall_clock=False,
         deterministic=True,
+        fused_kernel_loop=True,
     )
 
     def run(self, request: ExecutionRequest) -> ExecutionResult:

@@ -113,6 +113,24 @@ class EpochEngine:
             self.trace.add_epoch(event)
             self.weights_by_epoch.append(self.w.copy())
 
+    def run_sample_block(
+        self, kernel: KernelBackend, obj: Objective, rows: np.ndarray, scales: np.ndarray
+    ) -> int:
+        """Execute one schedule block of per-sample steps on ``self.w``.
+
+        Hands the whole block to the kernel's
+        :meth:`~repro.kernels.base.KernelBackend.run_sample_block`
+        primitive: on a backend with a fused native loop this is a single C
+        call per epoch; everywhere else the base-class default performs the
+        identical per-step ``sample_update`` loop, so trajectories are
+        unchanged.  Returns the total gradient nnz of the block.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        scales = np.ascontiguousarray(scales, dtype=np.float64)
+        return kernel.run_sample_block(
+            self.w, obj, self.problem.X, self.problem.y, rows, scales
+        )
+
 
 class BaseSolver(ABC):
     """Common machinery shared by all solvers.

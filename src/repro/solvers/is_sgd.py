@@ -66,7 +66,7 @@ class ISSGDSolver(BaseSolver):
     def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
         """Run ``epochs`` passes of importance-sampled SGD."""
         rng = as_rng(self.seed)
-        X, y, obj = problem.X, problem.y, problem.objective
+        obj = problem.objective
         n = problem.n_samples
         kernel = self.kernel
         engine = EpochEngine(problem, initial_weights)
@@ -90,13 +90,8 @@ class ISSGDSolver(BaseSolver):
                     state["sequence"] = state["sequence"].reshuffled(
                         seed=int(rng.integers(0, 2**31 - 1))
                     )
-            w = engine.w
-            total_nnz = 0
-            for row in state["sequence"].indices:
-                row = int(row)
-                total_nnz += kernel.sample_update(
-                    w, obj, X, row, float(y[row]), -lam * reweight[row]
-                )
+            seq = np.asarray(state["sequence"].indices, dtype=np.int64)
+            total_nnz = engine.run_sample_block(kernel, obj, seq, -lam * reweight[seq])
             event.merge_bulk(iterations=n, grad_nnz=total_nnz, sample_draws=n)
 
         engine.run(self.epochs, epoch_body)

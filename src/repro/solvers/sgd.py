@@ -5,9 +5,10 @@ Plain SGD with uniform sampling, Eq. 3:
     w_{t+1} = w_t - λ ∇f_{i_t}(w_t),      i_t ~ Uniform{1..n}.
 
 Sampling is without replacement within each epoch (a fresh random
-permutation per epoch), the standard practical variant.  Each step runs
-through the solver's kernel backend (:mod:`repro.kernels`); the epoch loop
-itself is the shared :class:`~repro.solvers.base.EpochEngine`.
+permutation per epoch), the standard practical variant.  The whole epoch is
+handed to the kernel backend as one schedule block
+(:meth:`~repro.solvers.base.EpochEngine.run_sample_block`): a single fused
+C call on the ``native`` backend, the identical per-step loop elsewhere.
 """
 
 from __future__ import annotations
@@ -29,18 +30,15 @@ class SGDSolver(BaseSolver):
     def fit(self, problem: Problem, *, initial_weights: Optional[np.ndarray] = None) -> TrainResult:
         """Run ``epochs`` passes of serial SGD over ``problem``."""
         rng = as_rng(self.seed)
-        X, y, obj = problem.X, problem.y, problem.objective
+        obj = problem.objective
         n = problem.n_samples
         kernel = self.kernel
         engine = EpochEngine(problem, initial_weights)
         lam = self.step_size
 
         def epoch_body(epoch: int, event) -> None:
-            w = engine.w
             order = rng.permutation(n)
-            total_nnz = 0
-            for row in order:
-                total_nnz += kernel.sample_update(w, obj, X, int(row), float(y[row]), -lam)
+            total_nnz = engine.run_sample_block(kernel, obj, order, np.full(n, -lam))
             event.merge_bulk(iterations=n, grad_nnz=total_nnz)
 
         engine.run(self.epochs, epoch_body)

@@ -9,6 +9,17 @@ overhead) of ``scipy.sparse``.
 Rows are the training samples and columns are features throughout the
 library; a row is therefore the index-compressed representation of one
 stochastic gradient's support.
+
+Dtype invariants
+----------------
+Construction normalises the storage to a fixed ABI: ``data`` is ``float64``
+and ``indices``/``indptr`` are ``int32`` (the native C kernel backend reads
+the arrays through raw pointers, so the layout cannot depend on what numpy
+happened to infer).  Both ``n_cols`` and ``nnz`` must therefore fit in a
+signed 32-bit integer; out-of-range inputs are rejected at construction.
+Arrays that already satisfy the invariants are passed through without a
+copy (the process-cluster workers rely on this to keep their shared-memory
+views zero-copy).
 """
 
 from __future__ import annotations
@@ -28,14 +39,15 @@ class CSRMatrix:
     Parameters
     ----------
     data:
-        Non-zero values, concatenated row by row (``float64``).
+        Non-zero values, concatenated row by row (normalised to ``float64``).
     indices:
-        Column index of each value in ``data`` (``int64``).
+        Column index of each value in ``data`` (normalised to ``int32``).
     indptr:
         Row pointer array of length ``n_rows + 1``; row ``i`` occupies the
-        slice ``data[indptr[i]:indptr[i + 1]]``.
+        slice ``data[indptr[i]:indptr[i + 1]]`` (normalised to ``int32``).
     n_cols:
-        Number of columns (the feature dimensionality ``d``).
+        Number of columns (the feature dimensionality ``d``); must fit in a
+        signed 32-bit integer, as must ``nnz``.
     """
 
     data: np.ndarray
@@ -43,10 +55,37 @@ class CSRMatrix:
     indptr: np.ndarray
     n_cols: int
 
+    #: The fixed storage dtype of ``indices``/``indptr`` (the C ABI of the
+    #: native kernel backend reads the arrays through ``int32_t`` pointers).
+    INDEX_DTYPE = np.int32
+
+    @staticmethod
+    def _as_index_array(arr: np.ndarray, name: str) -> np.ndarray:
+        """Normalise an index array to contiguous :attr:`INDEX_DTYPE`.
+
+        Arrays already in the canonical dtype pass through without a copy;
+        anything else is range-checked against the int32 domain before the
+        narrowing cast so out-of-range values fail loudly instead of
+        wrapping.
+        """
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype == CSRMatrix.INDEX_DTYPE:
+            return arr
+        arr = arr.astype(np.int64, copy=False)
+        if arr.size and (
+            arr.min() < np.iinfo(np.int32).min or arr.max() > np.iinfo(np.int32).max
+        ):
+            raise ValueError(f"{name} values exceed the int32 storage range")
+        return np.ascontiguousarray(arr, dtype=CSRMatrix.INDEX_DTYPE)
+
     def __post_init__(self) -> None:
         self.data = np.ascontiguousarray(self.data, dtype=np.float64)
-        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
-        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        if self.n_cols is not None and int(self.n_cols) > np.iinfo(np.int32).max:
+            raise ValueError("n_cols exceeds the int32 storage range")
+        if self.data.size > np.iinfo(np.int32).max:
+            raise ValueError("nnz exceeds the int32 storage range")
+        self.indices = self._as_index_array(self.indices, "indices")
+        self.indptr = self._as_index_array(self.indptr, "indptr")
         if self.indptr.ndim != 1 or self.indptr.size < 1:
             raise ValueError("indptr must be a 1-D array with at least one entry")
         if self.indptr[0] != 0:
@@ -193,18 +232,19 @@ class CSRMatrix:
         """Concatenated ``(indices, values, lengths)`` of the selected rows.
 
         ``rows`` may repeat and is visited in order; the returned ``lengths``
-        vector gives each selected row's nnz so callers can segment the flat
-        arrays (``np.repeat`` / ``np.add.reduceat`` style).  This is the
-        gather primitive behind the vectorized kernel backend's batched
-        margins and scatter-adds.
+        vector gives each selected row's nnz (``int64``, so cumulative sums
+        over huge selections cannot overflow the int32 storage dtype) so
+        callers can segment the flat arrays (``np.repeat`` /
+        ``np.add.reduceat`` style).  This is the gather primitive behind the
+        vectorized kernel backend's batched margins and scatter-adds.
         """
         rows = check_index_array(np.asarray(rows, dtype=np.int64), "rows", upper=self.n_rows)
-        starts = self.indptr[rows]
+        starts = self.indptr[rows].astype(np.int64)
         lengths = self.indptr[rows + 1] - starts
         total = int(lengths.sum())
         if total == 0:
             return (
-                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=self.INDEX_DTYPE),
                 np.zeros(0, dtype=np.float64),
                 lengths,
             )
@@ -347,7 +387,7 @@ class CSRMatrix:
         new_indptr = np.zeros(order.size + 1, dtype=np.int64)
         np.cumsum(lengths, out=new_indptr[1:])
         new_data = np.empty(int(new_indptr[-1]), dtype=np.float64)
-        new_indices = np.empty(int(new_indptr[-1]), dtype=np.int64)
+        new_indices = np.empty(int(new_indptr[-1]), dtype=self.INDEX_DTYPE)
         for new_r, old_r in enumerate(order):
             lo, hi = self.indptr[old_r], self.indptr[old_r + 1]
             nlo, nhi = new_indptr[new_r], new_indptr[new_r + 1]

@@ -58,7 +58,8 @@ class TestRunKey:
         identity = run_identity(_spec(solver="sgd", num_workers=1))
         assert identity["async_mode"] is None
 
-    def test_kernel_default_resolved_into_identity(self):
+    def test_kernel_default_resolved_into_identity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
         assert run_identity(_spec())["kernel"] == "vectorized"
         explicit = _spec(solver_kwargs=(("kernel", "reference"),))
         assert run_identity(explicit)["kernel"] == "reference"
@@ -239,9 +240,10 @@ class TestPooledScheduler:
 
 
 class TestIdentityCompleteness:
-    def test_explicit_default_mode_hashes_like_omitted(self):
+    def test_explicit_default_mode_hashes_like_omitted(self, monkeypatch):
         # The hoisted async_mode/kernel kwargs must not double-count:
         # spelling out the engine default is the same computation.
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
         explicit = _spec(solver_kwargs=(("async_mode", "per_sample"),))
         assert run_key(explicit) == run_key(_spec())
         explicit_kernel = _spec(solver_kwargs=(("kernel", "vectorized"),))

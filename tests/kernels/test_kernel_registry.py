@@ -26,7 +26,7 @@ def _reset_default():
 
 class TestRegistry:
     def test_builtin_backends_available(self):
-        assert available_backends() == ["reference", "vectorized"]
+        assert available_backends() == ["native", "reference", "vectorized"]
 
     def test_make_backend_returns_shared_instances(self):
         assert make_backend("reference") is make_backend("reference")
@@ -36,6 +36,29 @@ class TestRegistry:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown kernel backend"):
             make_backend("bogus")
+
+    def test_unknown_backend_error_lists_availability(self):
+        from repro.kernels import backend_availability
+
+        status = backend_availability()
+        assert set(status) == set(available_backends())
+        assert status["reference"] == "available"
+        assert status["vectorized"] == "available"
+        with pytest.raises(ValueError) as excinfo:
+            make_backend("bogus")
+        message = str(excinfo.value)
+        for name, state in status.items():
+            assert f"{name} [{state}]" in message
+
+    def test_backend_doc_class_has_no_build_side_effects(self):
+        from repro.kernels import backend_doc_class
+        from repro.kernels.native.backend import NativeKernel
+
+        assert backend_doc_class("reference") is ReferenceKernel
+        assert backend_doc_class("vectorized") is VectorizedKernel
+        assert backend_doc_class("native") is NativeKernel
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            backend_doc_class("bogus")
 
     def test_register_custom_backend(self):
         class Custom(VectorizedKernel):

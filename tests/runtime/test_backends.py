@@ -48,8 +48,13 @@ class TestRegistry:
         for row in matrix:
             assert set(row) == {
                 "backend", "description", "supports_batching", "true_parallelism",
-                "measured_wall_clock", "deterministic", "rules",
+                "measured_wall_clock", "deterministic", "fused_kernel_loop", "rules",
             }
+
+    def test_only_batched_advertises_fused_kernel_loop(self):
+        assert backend_capabilities("batched").fused_kernel_loop
+        for name in ("per_sample", "threads", "process"):
+            assert not backend_capabilities(name).fused_kernel_loop
 
     def test_only_process_measures_wall_clock(self):
         assert backend_capabilities("process").measured_wall_clock

@@ -216,3 +216,71 @@ class TestCanonicalLayout:
         )
         mat = CSRMatrix.from_scipy(raw)
         np.testing.assert_allclose(mat.to_dense(), [[3.0, 1.0]])
+
+
+class TestDtypeInvariants:
+    """Regression guard for the documented fixed storage dtypes.
+
+    The native C kernel backend reads ``data``/``indices``/``indptr``
+    through raw ``double*``/``int32_t*`` pointers, so every constructor
+    must normalise to exactly these dtypes — whatever numpy inferred for
+    the inputs.
+    """
+
+    def _assert_canonical(self, mat: CSRMatrix) -> None:
+        assert mat.data.dtype == np.float64
+        assert mat.indices.dtype == np.int32
+        assert mat.indptr.dtype == np.int32
+        assert mat.data.flags["C_CONTIGUOUS"]
+        assert mat.indices.flags["C_CONTIGUOUS"]
+        assert mat.indptr.flags["C_CONTIGUOUS"]
+
+    def test_construction_normalizes_inferred_dtypes(self):
+        mat = CSRMatrix(
+            data=np.array([1, 2, 3]),                      # int -> float64
+            indices=np.array([0, 2, 1], dtype=np.int64),   # int64 -> int32
+            indptr=np.array([0, 2, 3], dtype=np.uint64),   # uint64 -> int32
+            n_cols=3,
+        )
+        self._assert_canonical(mat)
+
+    def test_all_constructors_normalize(self):
+        mat = CSRMatrix.from_dense(np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]]))
+        self._assert_canonical(mat)
+        self._assert_canonical(CSRMatrix.from_rows([([0, 2], [1.0, 2.0])], n_cols=3))
+        self._assert_canonical(mat.transpose())
+        self._assert_canonical(mat.take_rows([1, 0, 1]))
+        self._assert_canonical(mat.slice_rows(0, 1))
+        self._assert_canonical(vstack([mat, mat]))
+
+    def test_already_canonical_arrays_pass_through_without_copy(self):
+        data = np.array([1.0, 2.0])
+        indices = np.array([0, 1], dtype=np.int32)
+        indptr = np.array([0, 1, 2], dtype=np.int32)
+        mat = CSRMatrix(data=data, indices=indices, indptr=indptr, n_cols=2)
+        assert mat.data is data
+        assert mat.indices is indices
+        assert mat.indptr is indptr
+
+    def test_gather_rows_lengths_are_int64(self):
+        mat = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        idx, val, lengths = mat.gather_rows(np.array([0, 1, 0]))
+        assert idx.dtype == np.int32
+        assert val.dtype == np.float64
+        assert lengths.dtype == np.int64
+
+    def test_out_of_range_int32_inputs_rejected(self):
+        with pytest.raises(ValueError, match="int32"):
+            CSRMatrix(
+                data=np.array([1.0]),
+                indices=np.array([2**31], dtype=np.int64),
+                indptr=np.array([0, 1]),
+                n_cols=5,
+            )
+        with pytest.raises(ValueError, match="int32"):
+            CSRMatrix(
+                data=np.zeros(0),
+                indices=np.zeros(0, dtype=np.int64),
+                indptr=np.array([0]),
+                n_cols=2**31,
+            )

@@ -115,17 +115,27 @@ def _objectives_section() -> list[str]:
 
 
 def _kernels_section() -> list[str]:
-    from repro.kernels.registry import DEFAULT_BACKEND, available_backends, make_backend
+    # backend_doc_class (not make_backend) keeps doc generation free of
+    # build side effects: instantiating "native" would compile the C
+    # extension — or document its fallback instance on compiler-less
+    # machines instead of the backend itself.
+    from repro.kernels.registry import (
+        DEFAULT_BACKEND,
+        available_backends,
+        backend_doc_class,
+    )
 
     lines = ["## Kernel backends", "",
              "Selected per call (`kernel=`), per process "
              "(`set_default_backend`) or via `REPRO_KERNEL_BACKEND`.", "",
-             "| name | class | description |", "| --- | --- | --- |"]
+             "| name | class | fused loop | description |",
+             "| --- | --- | --- | --- |"]
     for name in available_backends():
-        backend = make_backend(name)
+        cls = backend_doc_class(name)
         marker = " (default)" if name == DEFAULT_BACKEND else ""
+        fused = "yes" if getattr(cls, "fused_sample_block", False) else "-"
         lines.append(
-            f"| `{name}`{marker} | `{type(backend).__name__}` | {_doc_line(type(backend))} |"
+            f"| `{name}`{marker} | `{cls.__name__}` | {fused} | {_doc_line(cls)} |"
         )
     lines.append("")
     return lines
