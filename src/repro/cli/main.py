@@ -459,6 +459,7 @@ def cmd_list(args: argparse.Namespace) -> int:
             "measured_time": "yes" if row["measured_wall_clock"] else "-",
             "deterministic": "yes" if row["deterministic"] else "-",
             "fused_loop": "yes" if row.get("fused_kernel_loop") else "-",
+            "fault_tol": "yes" if row.get("fault_tolerant") else "-",
             "rules": " ".join(row["rules"]),
         }
         for row in matrix

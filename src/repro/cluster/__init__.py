@@ -7,19 +7,35 @@ lock-free index-compressed updates through the kernel batch primitives,
 and the driver folds *measured* staleness/conflict/occupancy counters into
 the same trace records the perturbed-iterate simulator emits.
 
+The tier is elastic and fault-tolerant: the driver checkpoints a
+shard-consistent cut of the run at every epoch barrier
+(:mod:`repro.cluster.checkpoint`), replaces workers that die mid-epoch by
+respawning the fleet from the last checkpoint, re-shards checkpointed
+state bit-identically across membership changes
+(:func:`~repro.cluster.sharding.remap_flat`), and mitigates stragglers by
+work-stealing across the per-worker block queues when the measured
+:func:`~repro.cluster.cost_model.work_skew` warrants it.
+
 Selected per solver with ``async_mode="process"`` (or globally via
 ``REPRO_ASYNC_MODE=process``); see ``docs/cluster.md``.
 """
 
+from repro.cluster.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    ClusterCheckpoint,
+)
 from repro.cluster.cost_model import (
     ClusterCostModel,
     ClusterCostParameters,
     compare_traces,
     occupancy_skew,
+    work_skew,
 )
 from repro.cluster.driver import (
     ClusterDriver,
     ClusterRunResult,
+    WorkerFailure,
     available_parallelism,
     default_start_method,
 )
@@ -29,21 +45,28 @@ from repro.cluster.sharding import (
     feature_coloring,
     make_shard_plan,
     range_shard_plan,
+    remap_flat,
 )
 from repro.cluster.shm import ArenaSpec, ShmArena
 
 __all__ = [
     "ClusterDriver",
     "ClusterRunResult",
+    "WorkerFailure",
     "ClusterCostModel",
     "ClusterCostParameters",
+    "CheckpointStore",
+    "ClusterCheckpoint",
+    "CHECKPOINT_FORMAT_VERSION",
     "compare_traces",
     "occupancy_skew",
+    "work_skew",
     "ShardPlan",
     "range_shard_plan",
     "coloring_shard_plan",
     "feature_coloring",
     "make_shard_plan",
+    "remap_flat",
     "ShmArena",
     "ArenaSpec",
     "available_parallelism",

@@ -1,0 +1,282 @@
+"""Shard-consistent checkpoints of a cluster run.
+
+Fault tolerance of the process tier rests on one invariant: at every epoch
+barrier the shared-memory arena is *quiescent* — every worker sits at the
+next release barrier, no lock-free write is in flight — so the driver can
+take a consistent cut of the whole run:
+
+* the flat parameter buffer (stored in **global** coordinate order, so it
+  remaps bit-identically onto any :class:`~repro.cluster.sharding.ShardPlan`
+  of the same dimension — dynamic re-sharding on membership changes is a
+  pure permutation, see :func:`repro.cluster.sharding.remap_flat`);
+* per-rule shared state (SAGA's coefficient table and running average;
+  SVRG's snapshot blocks are *recomputed* from the weights at every epoch
+  start and need no extra state);
+* the sampler stream (the seed root plus the per-worker seeds of the next
+  epoch — each worker's per-epoch sequence is derived from
+  ``(seed_root, worker_id, epoch)`` alone, so a resumed fleet replays the
+  exact same draws whatever its size);
+* the measured counters folded so far (the
+  :class:`~repro.async_engine.events.ExecutionTrace` and the per-epoch
+  seconds/delay/skew series).
+
+:class:`CheckpointStore` persists checkpoints as content-addressed JSON in
+the PR 4 artifact-store idiom — the filename is derived from the run's
+*identity* (data digest, objective, rule, step size, seed — deliberately
+**excluding** cluster membership) plus the epoch, and writes are atomic
+(:func:`repro.experiments.store.atomic_write_json`), so a run killed
+mid-checkpoint never leaves a half-artifact.  Arrays are encoded as
+base64 of their raw bytes: restore is bit-exact, not merely close.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.async_engine.events import ExecutionTrace
+
+#: On-disk checkpoint schema version (bump on incompatible layout changes).
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """JSON-safe bit-exact encoding of a NumPy array (dtype, shape, base64)."""
+    arr = np.ascontiguousarray(array)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    """Invert :func:`encode_array` (returns a fresh writable array)."""
+    raw = base64.b64decode(payload["data"])
+    arr = np.frombuffer(raw, dtype=payload["dtype"]).reshape(payload["shape"])
+    return arr.copy()
+
+
+@dataclass
+class ClusterCheckpoint:
+    """One shard-consistent cut of a cluster run after ``epoch`` epochs.
+
+    Attributes
+    ----------
+    identity:
+        The run identity dict the checkpoint is keyed by (see
+        :meth:`repro.cluster.driver.ClusterDriver.checkpoint_identity`).
+        Membership (worker/shard counts) is *not* part of the identity, so
+        a checkpoint written at one fleet size resumes at any other.
+    epoch:
+        Number of *completed* epochs the checkpoint represents.
+    weights:
+        Parameter vector in global coordinate order (layout-independent).
+    rule:
+        Update-rule registry name of the run.
+    rule_state:
+        Rule-specific shared state, all arrays in global coordinate order
+        where layout applies (SAGA: ``saga_coefs``, ``saga_avg``; empty for
+        rules whose epoch state is derived from the weights).
+    sampler:
+        ``{"seed_root": int, "next_epoch_seeds": [int, ...]}`` — the
+        deterministic sampler stream position.
+    counters:
+        Cumulative measured counter totals at the cut (column layout of
+        :mod:`repro.cluster.worker`), folded over workers so the record
+        survives membership changes.
+    shard_write_totals:
+        Cumulative per-shard coordinate-write totals at the cut.
+    trace:
+        The measured :class:`ExecutionTrace` of the completed epochs.
+    """
+
+    identity: Dict[str, Any]
+    epoch: int
+    num_workers: int
+    num_shards: int
+    shard_scheme: str
+    weights: np.ndarray
+    rule: str
+    rule_state: Dict[str, np.ndarray] = field(default_factory=dict)
+    sampler: Dict[str, Any] = field(default_factory=dict)
+    counters: Optional[np.ndarray] = None
+    shard_write_totals: Optional[np.ndarray] = None
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    epoch_seconds: List[float] = field(default_factory=list)
+    epoch_mean_delay: List[float] = field(default_factory=list)
+    epoch_occupancy_skew: List[float] = field(default_factory=list)
+    epoch_steals: List[int] = field(default_factory=list)
+    epoch_weights: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (arrays bit-exact via :func:`encode_array`)."""
+        return {
+            "identity": self.identity,
+            "epoch": int(self.epoch),
+            "num_workers": int(self.num_workers),
+            "num_shards": int(self.num_shards),
+            "shard_scheme": self.shard_scheme,
+            "weights": encode_array(self.weights),
+            "rule": self.rule,
+            "rule_state": {k: encode_array(v) for k, v in self.rule_state.items()},
+            "sampler": self.sampler,
+            "counters": encode_array(self.counters) if self.counters is not None else None,
+            "shard_write_totals": (
+                encode_array(self.shard_write_totals)
+                if self.shard_write_totals is not None else None
+            ),
+            "trace": self.trace.to_dict(),
+            "epoch_seconds": [float(s) for s in self.epoch_seconds],
+            "epoch_mean_delay": [float(s) for s in self.epoch_mean_delay],
+            "epoch_occupancy_skew": [float(s) for s in self.epoch_occupancy_skew],
+            "epoch_steals": [int(s) for s in self.epoch_steals],
+            "epoch_weights": (
+                [encode_array(w) for w in self.epoch_weights]
+                if self.epoch_weights is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClusterCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_dict` output."""
+        return cls(
+            identity=dict(payload["identity"]),
+            epoch=int(payload["epoch"]),
+            num_workers=int(payload["num_workers"]),
+            num_shards=int(payload["num_shards"]),
+            shard_scheme=payload["shard_scheme"],
+            weights=decode_array(payload["weights"]),
+            rule=payload["rule"],
+            rule_state={k: decode_array(v) for k, v in payload["rule_state"].items()},
+            sampler=dict(payload["sampler"]),
+            counters=(
+                decode_array(payload["counters"])
+                if payload.get("counters") is not None else None
+            ),
+            shard_write_totals=(
+                decode_array(payload["shard_write_totals"])
+                if payload.get("shard_write_totals") is not None else None
+            ),
+            trace=ExecutionTrace.from_dict(payload["trace"]),
+            epoch_seconds=list(payload.get("epoch_seconds", [])),
+            epoch_mean_delay=list(payload.get("epoch_mean_delay", [])),
+            epoch_occupancy_skew=list(payload.get("epoch_occupancy_skew", [])),
+            epoch_steals=[int(s) for s in payload.get("epoch_steals", [])],
+            epoch_weights=(
+                [decode_array(w) for w in payload["epoch_weights"]]
+                if payload.get("epoch_weights") is not None else None
+            ),
+        )
+
+    def copy(self) -> "ClusterCheckpoint":
+        """A deep, independent copy (the driver's in-memory checkpoint)."""
+        return ClusterCheckpoint.from_dict(self.to_dict())
+
+
+class CheckpointStore:
+    """A directory of per-epoch cluster checkpoints, keyed by run identity.
+
+    Filenames are ``ckpt-<identity sha256 prefix>-ep<epoch>.json``; every
+    file also embeds the full identity dict, which :meth:`load` verifies —
+    a truncated-digest collision can therefore never resume the wrong run.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def identity_prefix(identity: Dict[str, Any]) -> str:
+        """Filename-stable digest prefix of a run identity."""
+        from repro.experiments.store import identity_key
+
+        return identity_key(identity)[:40]
+
+    def path_for(self, identity: Dict[str, Any], epoch: int) -> Path:
+        """The checkpoint path of ``identity`` at ``epoch``."""
+        return self.root / f"ckpt-{self.identity_prefix(identity)}-ep{int(epoch):06d}.json"
+
+    def epochs(self, identity: Dict[str, Any]) -> List[int]:
+        """Completed-epoch counts with a stored checkpoint, ascending."""
+        if not self.root.is_dir():
+            return []
+        prefix = f"ckpt-{self.identity_prefix(identity)}-ep"
+        found = []
+        for path in self.root.glob(f"{prefix}*.json"):
+            try:
+                found.append(int(path.stem[len(prefix):]))
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return sorted(found)
+
+    # ------------------------------------------------------------------ #
+    def save(self, checkpoint: ClusterCheckpoint) -> Path:
+        """Persist one checkpoint atomically; returns the artifact path."""
+        from repro.experiments.store import atomic_write_json
+
+        entry = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "checkpoint": checkpoint.to_dict(),
+        }
+        return atomic_write_json(
+            self.path_for(checkpoint.identity, checkpoint.epoch), entry
+        )
+
+    def load(self, identity: Dict[str, Any], epoch: int) -> ClusterCheckpoint:
+        """Load and validate the checkpoint of ``identity`` at ``epoch``."""
+        path = self.path_for(identity, epoch)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"checkpoint {path} is missing or corrupt: {exc}") from exc
+        version = entry.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint {path} has format_version {version!r}, "
+                f"expected {CHECKPOINT_FORMAT_VERSION}"
+            )
+        checkpoint = ClusterCheckpoint.from_dict(entry["checkpoint"])
+        if checkpoint.identity != identity:
+            raise ValueError(
+                f"checkpoint {path} belongs to a different run identity"
+            )
+        return checkpoint
+
+    def latest(
+        self, identity: Dict[str, Any], *, max_epoch: Optional[int] = None
+    ) -> Optional[ClusterCheckpoint]:
+        """The newest stored checkpoint of ``identity`` (or ``None``).
+
+        ``max_epoch`` bounds the search — resuming a 4-epoch run ignores
+        checkpoints a longer earlier run may have written past epoch 4.
+        """
+        candidates = self.epochs(identity)
+        if max_epoch is not None:
+            candidates = [e for e in candidates if e <= max_epoch]
+        if not candidates:
+            return None
+        return self.load(identity, candidates[-1])
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return len(list(self.root.glob("ckpt-*.json")))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointStore({str(self.root)!r}, checkpoints={len(self)})"
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "ClusterCheckpoint",
+    "CheckpointStore",
+    "encode_array",
+    "decode_array",
+]

@@ -97,6 +97,20 @@ def occupancy_skew(shard_write_fractions: Sequence[float]) -> float:
     return float(f.size * np.sum(f * f) - 1.0)
 
 
+def work_skew(per_worker_iterations: Sequence[float]) -> float:
+    """Normalised imbalance of the per-worker iteration counts.
+
+    The same collision statistic as :func:`occupancy_skew`, applied over
+    *workers* instead of shards: 0.0 when every worker performs the same
+    number of iterations, growing to ``num_workers - 1`` when one worker
+    does all the work.  The driver uses it to decide when straggler
+    mitigation (work-stealing across the per-worker shard queues) is worth
+    arming: a skewed partition — or a measured epoch where one worker fell
+    behind — pushes the statistic over the stealing threshold.
+    """
+    return occupancy_skew(per_worker_iterations)
+
+
 class ClusterCostModel:
     """Predict and audit the wall-clock of measured cluster traces."""
 
@@ -219,5 +233,6 @@ __all__ = [
     "ClusterCostParameters",
     "ClusterCostModel",
     "occupancy_skew",
+    "work_skew",
     "compare_traces",
 ]

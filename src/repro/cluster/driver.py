@@ -4,8 +4,8 @@
 into a fleet of real OS processes sharing one sharded parameter vector:
 
 * it allocates the shared-memory arena (parameter shards, read-only
-  dataset arrays, per-worker counter rows, conflict stamps) through
-  :class:`~repro.cluster.shm.ShmArena`;
+  dataset arrays, per-worker counter rows, conflict stamps, block queues)
+  through :class:`~repro.cluster.shm.ShmArena`;
 * it plans the coordinate shards (:mod:`repro.cluster.sharding`);
 * it spawns one :func:`~repro.cluster.worker.run_worker` process per data
   shard and paces them with a barrier, twice per epoch — between epochs
@@ -16,6 +16,29 @@ into a fleet of real OS processes sharing one sharded parameter vector:
   existing metrics/cost/experiments pipeline unchanged — but whose
   wall-clock is *measured*, not modelled.
 
+The cluster is **elastic and fault-tolerant**:
+
+* every epoch barrier the driver captures a shard-consistent in-memory
+  checkpoint (weights, rule state, sampler stream, folded counters — see
+  :mod:`repro.cluster.checkpoint`), optionally persisting it to a
+  :class:`~repro.cluster.checkpoint.CheckpointStore` every
+  ``checkpoint_every`` epochs;
+* when a worker dies mid-epoch (SIGKILL, OOM, Python crash) the watchdog
+  aborts the barrier, the driver reports exactly *which* worker died and
+  how (:class:`WorkerFailure`), reaps the fleet, restores the arena from
+  the last checkpoint and respawns a full replacement fleet that replays
+  the interrupted epoch (partial lock-free work of the survivors cannot
+  be unwound per-worker, so the epoch restarts from a consistent cut);
+  ``max_respawns`` bounds the recovery attempts;
+* checkpoints store the weights in *global* coordinate order, so a run
+  resumed at a different worker count rebuilds its
+  :class:`~repro.cluster.sharding.ShardPlan` and remaps the state onto the
+  new layout bit-identically (dynamic re-sharding);
+* stragglers are mitigated by work-stealing across the per-worker block
+  queues, armed per epoch when the planned or measured
+  :func:`~repro.cluster.cost_model.work_skew` exceeds
+  ``steal_skew_threshold`` (or forced with ``work_stealing=True``).
+
 Solvers select this tier with ``async_mode="process"`` (see
 :mod:`repro.async_engine.modes`); it is the first execution path in the
 repository whose throughput scales with physical cores.
@@ -23,22 +46,28 @@ repository whose throughput scales with physical cores.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import os
+import signal as signal_module
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.async_engine.events import EpochEvent, ExecutionTrace
-from repro.cluster.cost_model import ClusterCostModel, occupancy_skew
+from repro.cluster.checkpoint import CheckpointStore, ClusterCheckpoint
+from repro.cluster.cost_model import ClusterCostModel, occupancy_skew, work_skew
 from repro.cluster.sharding import ShardPlan, make_shard_plan
 from repro.cluster.shm import ShmArena
 from repro.cluster.worker import (
     BARRIER_TIMEOUT,
     COL_DELAY_SUM,
+    COL_ITERATIONS,
     COL_MAX_DELAY,
+    COL_STEALS,
     NUM_COUNTER_COLS,
     WorkerTask,
     build_rule,
@@ -71,6 +100,73 @@ def available_parallelism() -> int:
         return max(os.cpu_count() or 1, 1)
 
 
+class WorkerFailure(RuntimeError):
+    """One or more cluster worker processes died or raised.
+
+    Machine-readable detail rides along: :attr:`failures` is a list of
+    ``(worker_id, exitcode)`` pairs — a negative exit code is a death by
+    signal (``-9`` = SIGKILL) — and :attr:`python_errors` lists the worker
+    ids whose crash was a Python exception (the child printed its
+    traceback).  The driver's elastic path catches this, restores the last
+    checkpoint and respawns the fleet; with recovery disabled
+    (``max_respawns=0``) or exhausted it propagates to the caller.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[Tuple[int, Optional[int]]],
+        python_errors: Sequence[int] = (),
+    ) -> None:
+        self.failures = [
+            (int(wid), None if code is None else int(code)) for wid, code in failures
+        ]
+        self.python_errors = [int(wid) for wid in python_errors]
+        flagged = set(self.python_errors)
+        parts = []
+        for wid, code in self.failures:
+            if code is not None and code < 0:
+                try:
+                    name = signal_module.Signals(-code).name
+                except ValueError:  # pragma: no cover - unknown signal number
+                    name = f"signal {-code}"
+                parts.append(f"worker {wid} died with {name}")
+            elif wid in flagged:
+                parts.append(
+                    f"worker {wid} raised a Python exception "
+                    f"(exit code {code}; see worker traceback above)"
+                )
+            else:
+                parts.append(f"worker {wid} exited with code {code}")
+        reported = {wid for wid, _ in self.failures}
+        for wid in self.python_errors:
+            if wid not in reported:
+                parts.append(
+                    f"worker {wid} raised a Python exception (see worker traceback above)"
+                )
+        detail = "; ".join(parts) or "barrier aborted or timed out with no exit status"
+        super().__init__(f"cluster worker(s) failed: {detail}")
+
+
+def _collect_worker_failure(procs, arena: ShmArena) -> WorkerFailure:
+    """Build a :class:`WorkerFailure` after a broken barrier.
+
+    Exit codes can lag the barrier abort by a scheduling quantum, so poll
+    briefly until either an exit status or a worker-side error flag lands.
+    """
+    deadline = time.monotonic() + 2.0
+    while True:
+        failures = [
+            (wid, proc.exitcode)
+            for wid, proc in enumerate(procs)
+            if proc.exitcode not in (0, None)
+        ]
+        if failures or arena["errors"].any() or time.monotonic() >= deadline:
+            break
+        time.sleep(0.02)
+    python_errors = np.nonzero(arena["errors"])[0].tolist()
+    return WorkerFailure(failures, python_errors)
+
+
 @dataclass
 class ClusterRunResult:
     """Outcome of :meth:`ClusterDriver.run` (the cluster's ``SimulationResult``)."""
@@ -81,6 +177,7 @@ class ClusterRunResult:
     epoch_seconds: List[float] = field(default_factory=list)
     epoch_mean_delay: List[float] = field(default_factory=list)
     epoch_occupancy_skew: List[float] = field(default_factory=list)
+    epoch_steals: List[int] = field(default_factory=list)
     shard_write_fractions: Optional[np.ndarray] = None
     info: Dict[str, Any] = field(default_factory=dict)
 
@@ -88,6 +185,29 @@ class ClusterRunResult:
     def wall_clock(self) -> np.ndarray:
         """Cumulative *measured* seconds at the end of every epoch."""
         return np.cumsum(np.asarray(self.epoch_seconds, dtype=np.float64))
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping of one :meth:`ClusterDriver.run` invocation."""
+
+    start_epoch: int = 0
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    epoch_weights: List[np.ndarray] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    epoch_mean_delay: List[float] = field(default_factory=list)
+    epoch_occ: List[float] = field(default_factory=list)
+    epoch_steals: List[int] = field(default_factory=list)
+    prev_counters: Optional[np.ndarray] = None
+    prev_shard_writes: Optional[np.ndarray] = None
+    base_counters: Optional[np.ndarray] = None       # totals before this fleet
+    base_shard_totals: Optional[np.ndarray] = None
+    last_work_skew: float = 0.0
+    respawns: int = 0
+    steal_epochs: int = 0
+    checkpoints_persisted: int = 0
+    resumed_from: int = 0
+    mem_ckpt: Optional[ClusterCheckpoint] = None
 
 
 class ClusterDriver:
@@ -128,6 +248,28 @@ class ClusterDriver:
         staler than the real interleaving).
     start_method:
         ``multiprocessing`` start method (default: :func:`default_start_method`).
+    checkpoint_store:
+        A :class:`~repro.cluster.checkpoint.CheckpointStore` (or directory
+        path) to persist shard-consistent checkpoints into; ``None`` keeps
+        checkpoints in memory only (still enough for worker replacement).
+    checkpoint_every:
+        Persist every N-th epoch barrier to the store (the final epoch is
+        always persisted).  The in-memory recovery checkpoint is refreshed
+        every epoch regardless.
+    max_respawns:
+        Fleet respawn budget per run; 0 disables recovery (any worker
+        death raises :class:`WorkerFailure` immediately).
+    work_stealing:
+        ``"auto"`` (default) arms stealing for an epoch when the planned or
+        previously measured :func:`~repro.cluster.cost_model.work_skew`
+        exceeds ``steal_skew_threshold``; ``True``/``False`` force it.
+        SAGA never steals (its coefficient-table rows are owned per shard).
+    fault_hook:
+        Optional observer ``hook(kind, payload)`` called at
+        ``"fleet_spawned"``, ``"epoch_running"`` (between the release and
+        end barriers — the epoch cannot complete while the hook runs) and
+        ``"respawn"``.  This is the seam the fault-injection test harness
+        (``tests/cluster/faults.py``) uses to strike deterministically.
     """
 
     def __init__(
@@ -150,6 +292,13 @@ class ClusterDriver:
         kernel_name: Optional[str] = None,
         seed: RandomState = 0,
         start_method: Optional[str] = None,
+        checkpoint_store: Optional[Union[CheckpointStore, str, Path]] = None,
+        checkpoint_every: int = 1,
+        max_respawns: int = 3,
+        work_stealing: Union[bool, str] = "auto",
+        steal_skew_threshold: float = 0.05,
+        run_id: Optional[str] = None,
+        fault_hook: Optional[Callable[[str, Dict[str, Any]], None]] = None,
     ) -> None:
         if y.shape[0] != X.n_rows:
             raise ValueError("X and y row counts differ")
@@ -157,6 +306,12 @@ class ClusterDriver:
             raise ValueError(
                 f"unknown update rule {rule!r}; available: {', '.join(available_rules())}"
             )
+        if work_stealing not in (True, False, "auto"):
+            raise ValueError("work_stealing must be True, False or 'auto'")
+        if int(checkpoint_every) < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if int(max_respawns) < 0:
+            raise ValueError("max_respawns must be >= 0")
         self.X = X
         self.y = np.ascontiguousarray(y, dtype=np.float64)
         self.objective = objective
@@ -188,6 +343,21 @@ class ClusterDriver:
             shard_scheme, X.n_cols, self.num_shards, X=X,
             max_features=coloring_max_features,
         )
+        if checkpoint_store is not None and not isinstance(checkpoint_store, CheckpointStore):
+            checkpoint_store = CheckpointStore(checkpoint_store)
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_every = int(checkpoint_every)
+        self.max_respawns = int(max_respawns)
+        self.work_stealing = work_stealing
+        self.steal_skew_threshold = float(steal_skew_threshold)
+        self.run_id = run_id
+        self.fault_hook = fault_hook
+        # The sampler seed root: every per-(worker, epoch) sequence seed is
+        # derived from it alone, independently of fleet size or epoch count
+        # — the property checkpoint/resume and worker replacement rely on.
+        self._seed_root = int(as_rng(seed).integers(0, 2**31 - 1))
+        self._iterations = [max(1, shard.size) for shard in partition.shards]
+        self._identity: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     def resolved_batch_size(self, iterations_per_worker: int) -> int:
@@ -199,230 +369,558 @@ class ClusterDriver:
             return int(np.clip(iterations_per_worker // 16, 32, 1024))
         return max(1, int(self.batch_size))
 
+    def epoch_seed(self, worker_id: int, epoch: int) -> int:
+        """The deterministic sample-sequence seed of ``(worker, epoch)``.
+
+        Derived from ``(seed_root, worker_id, epoch)`` through a
+        :class:`numpy.random.SeedSequence`, so it is independent of the
+        total epoch count and of every other worker — a replacement worker
+        or a resumed run regenerates exactly the original stream.
+        """
+        ss = np.random.SeedSequence([self._seed_root, int(worker_id), int(epoch)])
+        return int(ss.generate_state(1)[0] & 0x7FFFFFFF)
+
+    def checkpoint_identity(self) -> Dict[str, Any]:
+        """The run identity checkpoints are keyed by.
+
+        Contains everything that determines the optimisation trajectory —
+        the dataset bytes, objective, rule, step sizes and the sampler seed
+        root — and deliberately **excludes** cluster membership (worker,
+        shard and batch configuration), so a checkpoint resumes at any
+        fleet size.
+        """
+        if self._identity is None:
+            digest = hashlib.sha256()
+            for array in (self.X.data, self.X.indices, self.X.indptr, self.y):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            regularizer = getattr(self.objective, "regularizer", None)
+            self._identity = {
+                "kind": "cluster_checkpoint",
+                "data_sha256": digest.hexdigest(),
+                "objective": type(self.objective).__name__,
+                "regularizer": type(regularizer).__name__ if regularizer is not None else None,
+                "rule": self.rule,
+                "skip_dense_term": bool(self.skip_dense_term),
+                "step_size": float(self.step_size),
+                "importance_sampling": bool(self.importance_sampling),
+                "step_clip": float(self.step_clip),
+                "seed_root": self._seed_root,
+                "run_id": self.run_id,
+            }
+        return self._identity
+
+    # ------------------------------------------------------------------ #
     def run(
         self,
         epochs: int,
         *,
         initial_weights: Optional[np.ndarray] = None,
         keep_epoch_weights: bool = True,
+        resume: bool = False,
     ) -> ClusterRunResult:
-        """Execute ``epochs`` epochs on the process cluster."""
+        """Execute ``epochs`` epochs on the process cluster.
+
+        With ``resume=True`` (requires ``checkpoint_store``) the newest
+        stored checkpoint of this run identity at or below ``epochs`` is
+        restored — remapped onto the current shard plan, whatever fleet
+        shape wrote it — and only the remaining epochs execute;
+        ``initial_weights`` is ignored when a checkpoint is found.
+        """
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
-        d = self.X.n_cols
-        rng = as_rng(self.seed)
-        is_svrg = self.rule in ("svrg", "svrg_skip_dense")
-        is_saga = self.rule == "saga"
+        restored: Optional[ClusterCheckpoint] = None
+        if resume:
+            if self.checkpoint_store is None:
+                raise ValueError("resume=True requires a checkpoint_store")
+            restored = self.checkpoint_store.latest(
+                self.checkpoint_identity(), max_epoch=epochs
+            )
 
         arena = ShmArena()
         try:
-            w = arena.create("weights", (d,), "float64")
-            if initial_weights is not None:
-                w[...] = self.plan.flatten_vector(
-                    np.ascontiguousarray(initial_weights, dtype=np.float64)
-                )
-            arena.create("x_data", self.X.data.shape, "float64", initial=self.X.data)
-            # CSRMatrix normalises indices/indptr to int32; matching the
-            # arena dtype keeps the workers' reconstructed views zero-copy.
-            arena.create("x_indices", self.X.indices.shape, "int32", initial=self.X.indices)
-            arena.create("x_indptr", self.X.indptr.shape, "int32", initial=self.X.indptr)
-            arena.create("y", self.y.shape, "float64", initial=self.y)
-            arena.create("shard_of", (d,), "int64", initial=self.plan.shard_of)
-            if self.plan.flat_of is not None:
-                arena.create("flat_of", (d,), "int64", initial=self.plan.flat_of)
-            counters = arena.create(
-                "counters", (self.num_workers, NUM_COUNTER_COLS), "int64"
+            sampling = self._build_sampling()
+            self._create_arena(arena, sampling)
+            state = _RunState()
+            state.prev_counters = np.zeros((self.num_workers, NUM_COUNTER_COLS), np.int64)
+            state.prev_shard_writes = np.zeros(
+                (self.num_workers, self.plan.num_shards), np.int64
             )
-            shard_writes = arena.create(
-                "shard_writes", (self.num_workers, self.plan.num_shards), "int64"
-            )
-            arena.create("progress", (self.num_workers,), "int64")
-            arena.create("last_writer", (d,), "int32", initial=np.full(d, -1, np.int32))
-            arena.create("write_clock", (d,), "int64")
-            arena.create("errors", (self.num_workers,), "int64")
-            if is_svrg:
-                mu_block = arena.create("mu", (d,), "float64")
-                snap_block = arena.create("snap_margins", (self.X.n_rows,), "float64")
-            if is_saga:
-                # SAGA's shared table state, built at the starting iterate
-                # through the rule's own definition (one batched kernel
-                # pass); the average lives in the flat shard layout.
-                from repro.kernels.registry import resolve_backend
+            state.base_counters = np.zeros(NUM_COUNTER_COLS, np.int64)
+            state.base_shard_totals = np.zeros(self.plan.num_shards, np.int64)
 
-                w0 = self.plan.unflatten(w)
-                coefs0, avg0 = self._proto_rule.initial_state(
-                    self.X, self.y, w0, resolve_backend(self.kernel_name)
-                )
-                arena.create("saga_coefs", (self.X.n_rows,), "float64", initial=coefs0)
-                arena.create(
-                    "saga_avg", (d,), "float64", initial=self.plan.flatten_vector(avg0)
-                )
-
-            ctx = mp.get_context(self.start_method)
-            barrier = ctx.Barrier(self.num_workers + 1)
-            procs = []
-            iterations = [max(1, shard.size) for shard in self.partition.shards]
-            for shard, iters in zip(self.partition.shards, iterations):
-                if self.importance_sampling:
-                    probs = shard.probabilities
-                    with np.errstate(divide="ignore"):
-                        reweight = 1.0 / (shard.size * probs)
-                    reweight = np.minimum(reweight, self.step_clip)
-                else:
-                    probs = np.full(shard.size, 1.0 / max(shard.size, 1))
-                    reweight = np.ones(shard.size)
-                task = WorkerTask(
-                    worker_id=shard.worker_id,
-                    num_workers=self.num_workers,
-                    arena=arena.spec(),
-                    rows=shard.row_indices,
-                    probabilities=probs,
-                    step_weights=reweight,
-                    iterations_per_epoch=iters,
-                    epochs=epochs,
-                    step_size=self.step_size,
-                    objective=self.objective,
-                    rule=self.rule,
-                    skip_dense_term=self.skip_dense_term,
-                    count_sample_draws=self.count_sample_draws,
-                    batch_size=self.resolved_batch_size(iters),
-                    seed=int(rng.integers(0, 2**31 - 1)),
-                    kernel_name=self.kernel_name,
-                    has_flat_of=self.plan.flat_of is not None,
-                    dim=d,
-                )
-                proc = ctx.Process(target=run_worker, args=(task, barrier), daemon=True)
-                procs.append(proc)
-            for proc in procs:
-                proc.start()
-
-            return self._drive_epochs(
-                epochs, arena, barrier, procs, counters, shard_writes,
-                keep_epoch_weights, is_svrg,
-                mu_block if is_svrg else None,
-                snap_block if is_svrg else None,
-                is_saga,
-            )
+            if restored is not None:
+                self._restore(arena, state, restored, keep_epoch_weights)
+                state.start_epoch = state.resumed_from = restored.epoch
+            else:
+                if initial_weights is not None:
+                    arena["weights"][...] = self.plan.flatten_vector(
+                        np.ascontiguousarray(initial_weights, dtype=np.float64)
+                    )
+                if self.rule == "saga":
+                    self._init_saga_state(arena)
+            state.mem_ckpt = self._capture(arena, state, state.start_epoch, keep_epoch_weights)
+            return self._drive(epochs, arena, state, sampling, keep_epoch_weights)
         finally:
             arena.close()
 
     # ------------------------------------------------------------------ #
+    def _build_sampling(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-shard ``(probabilities, step_weights)`` pairs."""
+        sampling = []
+        for shard in self.partition.shards:
+            if self.importance_sampling:
+                probs = shard.probabilities
+                with np.errstate(divide="ignore"):
+                    reweight = 1.0 / (shard.size * probs)
+                reweight = np.minimum(reweight, self.step_clip)
+            else:
+                probs = np.full(shard.size, 1.0 / max(shard.size, 1))
+                reweight = np.ones(shard.size)
+            sampling.append((probs, reweight))
+        return sampling
+
+    def _create_arena(
+        self, arena: ShmArena, sampling: List[Tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        """Allocate every shared block of one run."""
+        d = self.X.n_cols
+        arena.create("weights", (d,), "float64")
+        arena.create("x_data", self.X.data.shape, "float64", initial=self.X.data)
+        # CSRMatrix normalises indices/indptr to int32; matching the
+        # arena dtype keeps the workers' reconstructed views zero-copy.
+        arena.create("x_indices", self.X.indices.shape, "int32", initial=self.X.indices)
+        arena.create("x_indptr", self.X.indptr.shape, "int32", initial=self.X.indptr)
+        arena.create("y", self.y.shape, "float64", initial=self.y)
+        arena.create("shard_of", (d,), "int64", initial=self.plan.shard_of)
+        if self.plan.flat_of is not None:
+            arena.create("flat_of", (d,), "int64", initial=self.plan.flat_of)
+        arena.create("counters", (self.num_workers, NUM_COUNTER_COLS), "int64")
+        arena.create("shard_writes", (self.num_workers, self.plan.num_shards), "int64")
+        arena.create("progress", (self.num_workers,), "int64")
+        arena.create("last_writer", (d,), "int32", initial=np.full(d, -1, np.int32))
+        arena.create("write_clock", (d,), "int64")
+        arena.create("errors", (self.num_workers,), "int64")
+
+        # Block-queue machinery: published sample sequences, per-worker
+        # claim bounds and the concatenated shard rows / step weights that
+        # let a thief execute a victim's stolen block (see worker module).
+        iterations = self._iterations
+        arena.create("sequences", (self.num_workers, max(iterations)), "int64")
+        arena.create(
+            "seq_epoch", (self.num_workers,), "int64",
+            initial=np.full(self.num_workers, -1, np.int64),
+        )
+        arena.create("queue_next", (self.num_workers,), "int64")
+        arena.create("queue_end", (self.num_workers,), "int64")
+        arena.create(
+            "queue_block", (self.num_workers,), "int64",
+            initial=np.array(
+                [self.resolved_batch_size(it) for it in iterations], np.int64
+            ),
+        )
+        arena.create(
+            "queue_iters", (self.num_workers,), "int64",
+            initial=np.asarray(iterations, np.int64),
+        )
+        arena.create("steal_enabled", (1,), "int64")
+        # Generation barrier (single-writer words only — see
+        # repro.cluster.worker.barrier_phase): per-worker arrival slots
+        # plus [release_generation, abort_flag].
+        arena.create("barrier_arrive", (self.num_workers,), "int64")
+        arena.create("barrier_state", (2,), "int64")
+        all_rows = np.concatenate(
+            [shard.row_indices for shard in self.partition.shards]
+        ).astype(np.int64)
+        all_step_weights = np.concatenate([rw for _, rw in sampling]).astype(np.float64)
+        sizes = np.array([shard.size for shard in self.partition.shards], np.int64)
+        row_offsets = np.zeros(self.num_workers + 1, np.int64)
+        np.cumsum(sizes, out=row_offsets[1:])
+        arena.create("all_rows", all_rows.shape, "int64", initial=all_rows)
+        arena.create(
+            "all_step_weights", all_step_weights.shape, "float64",
+            initial=all_step_weights,
+        )
+        arena.create("row_offsets", (self.num_workers + 1,), "int64", initial=row_offsets)
+
+        if self.rule in ("svrg", "svrg_skip_dense"):
+            arena.create("mu", (d,), "float64")
+            arena.create("snap_margins", (self.X.n_rows,), "float64")
+        if self.rule == "saga":
+            arena.create("saga_coefs", (self.X.n_rows,), "float64")
+            arena.create("saga_avg", (d,), "float64")
+
+    def _init_saga_state(self, arena: ShmArena) -> None:
+        """SAGA's shared table state at the starting iterate (one kernel pass)."""
+        from repro.kernels.registry import resolve_backend
+
+        w0 = self.plan.unflatten(arena["weights"])
+        coefs0, avg0 = self._proto_rule.initial_state(
+            self.X, self.y, w0, resolve_backend(self.kernel_name)
+        )
+        arena["saga_coefs"][...] = coefs0
+        arena["saga_avg"][...] = self.plan.flatten_vector(avg0)
+
+    # ------------------------------------------------------------------ #
+    def _capture(
+        self, arena: ShmArena, state: _RunState, epoch: int, keep_epoch_weights: bool
+    ) -> ClusterCheckpoint:
+        """A shard-consistent checkpoint of the quiescent arena at ``epoch``."""
+        rule_state: Dict[str, np.ndarray] = {}
+        if self.rule == "saga":
+            rule_state = {
+                "saga_coefs": arena["saga_coefs"].copy(),
+                "saga_avg": self.plan.unflatten(arena["saga_avg"]),
+            }
+        return ClusterCheckpoint(
+            identity=self.checkpoint_identity(),
+            epoch=int(epoch),
+            num_workers=self.num_workers,
+            num_shards=self.plan.num_shards,
+            shard_scheme=self.plan.scheme,
+            weights=self.plan.unflatten(arena["weights"]),
+            rule=self.rule,
+            rule_state=rule_state,
+            sampler={
+                "seed_root": self._seed_root,
+                "next_epoch_seeds": [
+                    self.epoch_seed(wid, epoch) for wid in range(self.num_workers)
+                ],
+            },
+            counters=state.base_counters + state.prev_counters.sum(axis=0),
+            shard_write_totals=state.base_shard_totals
+            + state.prev_shard_writes.sum(axis=0),
+            trace=ExecutionTrace.from_dict(state.trace.to_dict()),
+            epoch_seconds=list(state.epoch_seconds),
+            epoch_mean_delay=list(state.epoch_mean_delay),
+            epoch_occupancy_skew=list(state.epoch_occ),
+            epoch_steals=list(state.epoch_steals),
+            epoch_weights=(
+                [np.array(w, copy=True) for w in state.epoch_weights]
+                if keep_epoch_weights else None
+            ),
+        )
+
+    def _restore(
+        self,
+        arena: ShmArena,
+        state: _RunState,
+        checkpoint: ClusterCheckpoint,
+        keep_epoch_weights: bool,
+    ) -> None:
+        """Load ``checkpoint`` into the arena and roll the run state back.
+
+        The checkpoint stores layout-independent (global-order) arrays, so
+        flattening through the *current* plan performs the re-sharding
+        remap — bit-identical whatever plan wrote the checkpoint.
+        """
+        arena["weights"][...] = self.plan.flatten_vector(checkpoint.weights)
+        if self.rule == "saga":
+            arena["saga_coefs"][...] = checkpoint.rule_state["saga_coefs"]
+            arena["saga_avg"][...] = self.plan.flatten_vector(
+                checkpoint.rule_state["saga_avg"]
+            )
+        arena["counters"][...] = 0
+        arena["shard_writes"][...] = 0
+        arena["progress"][...] = 0
+        arena["write_clock"][...] = 0
+        arena["last_writer"][...] = -1
+        arena["errors"][...] = 0
+        arena["seq_epoch"][...] = -1
+        arena["queue_next"][...] = 0
+        arena["queue_end"][...] = 0
+        state.prev_counters[...] = 0
+        state.prev_shard_writes[...] = 0
+        state.base_counters = (
+            checkpoint.counters.copy()
+            if checkpoint.counters is not None
+            else np.zeros(NUM_COUNTER_COLS, np.int64)
+        )
+        if (
+            checkpoint.shard_write_totals is not None
+            and checkpoint.num_shards == self.plan.num_shards
+        ):
+            state.base_shard_totals = checkpoint.shard_write_totals.copy()
+        else:
+            # Shard count changed across the restore: per-shard attribution
+            # of the earlier segment no longer maps; fractions restart.
+            state.base_shard_totals = np.zeros(self.plan.num_shards, np.int64)
+        state.trace = ExecutionTrace.from_dict(checkpoint.trace.to_dict())
+        state.epoch_seconds = list(checkpoint.epoch_seconds)
+        state.epoch_mean_delay = list(checkpoint.epoch_mean_delay)
+        state.epoch_occ = list(checkpoint.epoch_occupancy_skew)
+        state.epoch_steals = list(checkpoint.epoch_steals)
+        state.epoch_weights = (
+            [w.copy() for w in checkpoint.epoch_weights]
+            if keep_epoch_weights and checkpoint.epoch_weights is not None
+            else []
+        )
+        state.last_work_skew = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _notify(self, kind: str, payload: Dict[str, Any]) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(kind, payload)
+
+    def _spawn_fleet(self, ctx, arena: ShmArena, sampling, start_epoch: int, epochs: int):
+        """Launch one worker process per shard for epochs ``[start_epoch, epochs)``."""
+        lock = ctx.Lock()
+        # Invalidate any queue published by a previous fleet so a thief can
+        # never claim blocks from before a failure, and reset the
+        # generation barrier for the new fleet.
+        arena["seq_epoch"][...] = -1
+        arena["queue_next"][...] = 0
+        arena["queue_end"][...] = 0
+        arena["errors"][...] = 0
+        arena["barrier_arrive"][...] = 0
+        arena["barrier_state"][...] = 0
+        procs = []
+        for shard, iters, (probs, reweight) in zip(
+            self.partition.shards, self._iterations, sampling
+        ):
+            seeds = np.array(
+                [self.epoch_seed(shard.worker_id, e) for e in range(start_epoch, epochs)],
+                dtype=np.int64,
+            )
+            task = WorkerTask(
+                worker_id=shard.worker_id,
+                num_workers=self.num_workers,
+                arena=arena.spec(),
+                rows=shard.row_indices,
+                probabilities=probs,
+                step_weights=reweight,
+                iterations_per_epoch=iters,
+                epochs=epochs - start_epoch,
+                step_size=self.step_size,
+                objective=self.objective,
+                rule=self.rule,
+                skip_dense_term=self.skip_dense_term,
+                count_sample_draws=self.count_sample_draws,
+                batch_size=self.resolved_batch_size(iters),
+                kernel_name=self.kernel_name,
+                has_flat_of=self.plan.flat_of is not None,
+                dim=self.X.n_cols,
+                start_epoch=start_epoch,
+                epoch_seeds=seeds,
+                # SAGA's coefficient-table rows are owned per sample shard;
+                # a thief executing a stolen block would write rows the
+                # owner assumes private, so SAGA never steals.
+                steal_ok=self.rule != "saga",
+            )
+            procs.append(ctx.Process(target=run_worker, args=(task, lock), daemon=True))
+        for proc in procs:
+            proc.start()
+        self._notify("fleet_spawned", {"epoch": start_epoch, "procs": procs, "arena": arena})
+        return procs
+
+    def _arm_stealing(self, arena: ShmArena, state: _RunState) -> bool:
+        """Decide (and publish) whether this epoch's workers may steal."""
+        if self.num_workers < 2 or self.rule == "saga":
+            armed = False
+        elif self.work_stealing is True:
+            armed = True
+        elif self.work_stealing is False:
+            armed = False
+        else:  # "auto": planned partition skew or last epoch's measured skew
+            planned = work_skew(np.asarray(self._iterations, dtype=np.float64))
+            armed = max(planned, state.last_work_skew) > self.steal_skew_threshold
+        arena["steal_enabled"][0] = 1 if armed else 0
+        return armed
+
+    # ------------------------------------------------------------------ #
     @staticmethod
     def _reap(procs) -> None:
-        """Join worker processes briefly, terminating stragglers."""
+        """Join worker processes briefly, escalating to SIGTERM then SIGKILL.
+
+        The final SIGKILL also fells workers stopped by SIGSTOP, which
+        ignore SIGTERM while suspended.
+        """
         for proc in procs:
-            proc.join(timeout=5.0)
+            proc.join(timeout=2.0)
+        for proc in procs:
             if proc.is_alive():
                 proc.terminate()
+        for proc in procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
 
     @staticmethod
-    def _guarded_wait(barrier, procs) -> None:
-        """Barrier wait that aborts if any worker process died.
+    def _await_arrivals(arena: ShmArena, procs, gen: int) -> None:
+        """Wait until every worker has arrived at barrier generation ``gen``.
 
-        A worker that crashes *before* reaching its first barrier (import
-        error, spawn bootstrap failure, OOM kill) can never abort the
-        barrier itself; without this watchdog the driver would block for
-        the full timeout.
+        The driver side of the generation barrier (see
+        :func:`repro.cluster.worker.barrier_phase` for why
+        ``multiprocessing.Barrier`` cannot be used in a kill-prone tier).
+        The same poll doubles as the watchdog: a worker that died — even
+        *before* reaching its first barrier (spawn bootstrap failure, OOM
+        kill) — or raised is detected here, the abort flag is published so
+        the survivors stop instead of dead-waiting, and a
+        :class:`WorkerFailure` naming the dead workers and their exit
+        codes/signals is raised.
         """
-        import threading
+        arrive = arena["barrier_arrive"]
+        state = arena["barrier_state"]
+        errors = arena["errors"]
+        deadline = time.monotonic() + BARRIER_TIMEOUT
+        while True:
+            if bool(np.all(arrive >= gen)):
+                return
+            failed = errors.any() or any(
+                not proc.is_alive() and proc.exitcode not in (0, None)
+                for proc in procs
+            )
+            if failed or time.monotonic() > deadline:
+                state[1] = 1
+                raise _collect_worker_failure(procs, arena)
+            time.sleep(0.001)
 
-        stop = threading.Event()
+    @staticmethod
+    def _release(arena: ShmArena, gen: int) -> None:
+        """Open barrier generation ``gen`` for every parked worker."""
+        arena["barrier_state"][0] = gen
 
-        def watch() -> None:
-            while not stop.wait(0.2):
-                for proc in procs:
-                    if not proc.is_alive() and proc.exitcode not in (0, None):
-                        barrier.abort()
-                        return
-
-        watcher = threading.Thread(target=watch, daemon=True)
-        watcher.start()
-        try:
-            barrier.wait(timeout=BARRIER_TIMEOUT)
-        finally:
-            stop.set()
-            watcher.join()
-
-    def _drive_epochs(
-        self, epochs, arena, barrier, procs, counters, shard_writes,
-        keep_epoch_weights, is_svrg, mu_block, snap_block, is_saga=False,
-    ) -> ClusterRunResult:
-        import threading
-
+    def _run_epoch(
+        self,
+        epoch: int,
+        fleet_start: int,
+        arena: ShmArena,
+        procs,
+        state: _RunState,
+        keep_epoch_weights: bool,
+        total_inner: int,
+    ) -> None:
+        """Drive one epoch: prep, two barrier generations, counter folding."""
         d = self.X.n_cols
         w = arena["weights"]
-        trace = ExecutionTrace()
-        epoch_weights: List[np.ndarray] = []
-        epoch_seconds: List[float] = []
-        epoch_mean_delay: List[float] = []
-        epoch_occ: List[float] = []
-        prev_counters = np.zeros_like(counters)
-        prev_shard_writes = np.zeros_like(shard_writes)
-        total_inner = sum(max(1, s.size) for s in self.partition.shards)
+        counters = arena["counters"]
+        shard_writes = arena["shard_writes"]
+        is_svrg = self.rule in ("svrg", "svrg_skip_dense")
+        gen_start = 2 * (epoch - fleet_start) + 1
+        gen_end = gen_start + 1
 
+        event = EpochEvent(epoch=epoch)
+        # The timed window covers the whole per-epoch algorithm cost,
+        # including the driver-side serial work: SVRG's sync step
+        # (snapshot + full gradient — the dominant serial fraction of
+        # an SVRG epoch) and the skip-µ epoch-level dense add.  Only
+        # metrics bookkeeping (snapshots, counter reads) stays out.
+        started = time.perf_counter()
+        if self.rule == "saga" and epoch == 0:
+            # Table initialisation at the starting iterate (performed
+            # before the workers launched) — priced like every other
+            # once-per-run sync step.
+            fold_sync_step(event, nnz=self.X.nnz, dim=d)
+        if is_svrg:
+            snapshot = self.plan.unflatten(w)
+            mu = self.objective.full_gradient(snapshot, self.X, self.y)
+            arena["mu"][...] = self.plan.flatten_vector(mu)
+            arena["snap_margins"][...] = self.X.dot(snapshot)
+            fold_sync_step(event, nnz=self.X.nnz, dim=d)
+        armed = self._arm_stealing(arena, state)
+        self._await_arrivals(arena, procs, gen_start)  # workers parked at epoch start
+        self._release(arena, gen_start)                # release the epoch
+        # The epoch cannot finish while this hook runs: workers park at the
+        # end generation until the driver releases it, which happens only
+        # after this returns — the deterministic mid-epoch window the
+        # fault-injection harness strikes in.
+        self._notify(
+            "epoch_running",
+            {"epoch": epoch, "procs": procs, "arena": arena,
+             "total_iterations": total_inner, "gen_end": gen_end},
+        )
+        self._await_arrivals(arena, procs, gen_end)    # workers finished, parked
+
+        if is_svrg and self.skip_dense_term:
+            # Accumulated dense term, applied once per epoch (the
+            # paper's skip-µ ablation), exactly as the simulated
+            # engines do.
+            w += total_inner * (-self.step_size) * arena["mu"]
+            fold_sync_step(event, nnz=0, dim=d)
+        elapsed = time.perf_counter() - started
+
+        snap_counters = counters.copy()
+        snap_shards = shard_writes.copy()
+        delta = snap_counters - state.prev_counters
+        shard_delta = snap_shards - state.prev_shard_writes
+        state.prev_counters = snap_counters
+        state.prev_shard_writes = snap_shards
+        counters[:, COL_MAX_DELAY] = 0  # per-epoch maximum
+
+        iters = fold_worker_counters(
+            event, delta,
+            max_delay=int(snap_counters[:, COL_MAX_DELAY].max(initial=0)),
+        )
+        state.trace.add_epoch(event)
+        state.epoch_seconds.append(elapsed)
+        state.epoch_mean_delay.append(
+            float(delta[:, COL_DELAY_SUM].sum()) / max(iters, 1)
+        )
+        totals = shard_delta.sum(axis=0)
+        state.epoch_occ.append(occupancy_skew(totals))
+        state.epoch_steals.append(int(delta[:, COL_STEALS].sum()))
+        if armed:
+            state.steal_epochs += 1
+        state.last_work_skew = work_skew(delta[:, COL_ITERATIONS].astype(np.float64))
+        if keep_epoch_weights:
+            state.epoch_weights.append(self.plan.unflatten(w))
+        # Everything above read the arena while every worker was parked at
+        # the end generation (fully quiescent); now let them move on.
+        self._release(arena, gen_end)
+
+    def _drive(
+        self,
+        epochs: int,
+        arena: ShmArena,
+        state: _RunState,
+        sampling,
+        keep_epoch_weights: bool,
+    ) -> ClusterRunResult:
+        ctx = mp.get_context(self.start_method)
+        total_inner = sum(self._iterations)
+        procs = []
+        fleet_start = state.start_epoch
         try:
-            for epoch in range(epochs):
-                event = EpochEvent(epoch=epoch)
-                # The timed window covers the whole per-epoch algorithm cost,
-                # including the driver-side serial work: SVRG's sync step
-                # (snapshot + full gradient — the dominant serial fraction of
-                # an SVRG epoch) and the skip-µ epoch-level dense add.  Only
-                # metrics bookkeeping (snapshots, counter reads) stays out.
-                started = time.perf_counter()
-                if is_saga and epoch == 0:
-                    # Table initialisation at the starting iterate (performed
-                    # in run() before the workers launched) — priced like
-                    # every other once-per-run sync step.
-                    fold_sync_step(event, nnz=self.X.nnz, dim=d)
-                if is_svrg:
-                    snapshot = self.plan.unflatten(w)
-                    mu = self.objective.full_gradient(snapshot, self.X, self.y)
-                    mu_block[...] = self.plan.flatten_vector(mu)
-                    snap_block[...] = self.X.dot(snapshot)
-                    fold_sync_step(event, nnz=self.X.nnz, dim=d)
-                self._guarded_wait(barrier, procs)      # release the epoch
-                self._guarded_wait(barrier, procs)      # workers finished
-
-                if is_svrg and self.skip_dense_term:
-                    # Accumulated dense term, applied once per epoch (the
-                    # paper's skip-µ ablation), exactly as the simulated
-                    # engines do.
-                    w += total_inner * (-self.step_size) * mu_block
-                    fold_sync_step(event, nnz=0, dim=d)
-                elapsed = time.perf_counter() - started
-
-                snap_counters = counters.copy()
-                snap_shards = shard_writes.copy()
-                delta = snap_counters - prev_counters
-                shard_delta = snap_shards - prev_shard_writes
-                prev_counters = snap_counters
-                prev_shard_writes = snap_shards
-                counters[:, COL_MAX_DELAY] = 0  # per-epoch maximum
-
-                iters = fold_worker_counters(
-                    event, delta,
-                    max_delay=int(snap_counters[:, COL_MAX_DELAY].max(initial=0)),
-                )
-                trace.add_epoch(event)
-                epoch_seconds.append(elapsed)
-                epoch_mean_delay.append(
-                    float(delta[:, COL_DELAY_SUM].sum()) / max(iters, 1)
-                )
-                totals = shard_delta.sum(axis=0)
-                epoch_occ.append(occupancy_skew(totals))
-                if keep_epoch_weights:
-                    epoch_weights.append(self.plan.unflatten(w))
-        except threading.BrokenBarrierError:
-            failed = np.nonzero(arena["errors"])[0].tolist()
-            self._reap(procs)
-            raise RuntimeError(
-                f"cluster worker(s) {failed or '<unknown>'} failed; see worker traceback above"
-            )
+            if state.start_epoch < epochs:
+                procs = self._spawn_fleet(ctx, arena, sampling, state.start_epoch, epochs)
+            epoch = state.start_epoch
+            while epoch < epochs:
+                try:
+                    self._run_epoch(
+                        epoch, fleet_start, arena, procs, state,
+                        keep_epoch_weights, total_inner,
+                    )
+                except WorkerFailure:
+                    self._reap(procs)
+                    state.respawns += 1
+                    if state.respawns > self.max_respawns:
+                        raise
+                    # Elastic recovery: roll the arena back to the last
+                    # consistent cut and replay from there with a fresh
+                    # fleet (the interrupted epoch restarts).
+                    epoch = fleet_start = state.mem_ckpt.epoch
+                    self._notify(
+                        "respawn",
+                        {"epoch": epoch, "respawns": state.respawns},
+                    )
+                    self._restore(arena, state, state.mem_ckpt, keep_epoch_weights)
+                    procs = self._spawn_fleet(ctx, arena, sampling, epoch, epochs)
+                    continue
+                epoch += 1
+                state.mem_ckpt = self._capture(arena, state, epoch, keep_epoch_weights)
+                if self.checkpoint_store is not None and (
+                    epoch % self.checkpoint_every == 0 or epoch == epochs
+                ):
+                    self.checkpoint_store.save(state.mem_ckpt)
+                    state.checkpoints_persisted += 1
+        except WorkerFailure:
+            raise  # fleet already reaped above
         except BaseException:
-            # Driver-side failure (KeyboardInterrupt, SVRG prep error, ...):
-            # abort the barrier so workers unblock immediately instead of
-            # sitting out the full barrier timeout, then reap them.
-            barrier.abort()
+            # Driver-side failure (KeyboardInterrupt, SVRG prep error, a
+            # fault hook assertion, ...): raise the abort flag so workers
+            # unblock immediately instead of sitting out the full barrier
+            # timeout, then reap them.
+            arena["barrier_state"][1] = 1
             self._reap(procs)
             raise
 
@@ -432,8 +930,10 @@ class ClusterDriver:
                 proc.terminate()
                 raise RuntimeError("cluster worker failed to exit after the final epoch")
 
-        final = self.plan.unflatten(w)
-        totals = prev_shard_writes.sum(axis=0).astype(np.float64)
+        final = self.plan.unflatten(arena["weights"])
+        totals = (
+            state.base_shard_totals + state.prev_shard_writes.sum(axis=0)
+        ).astype(np.float64)
         fractions = totals / totals.sum() if totals.sum() > 0 else totals
         info = {
             "backend": "process",
@@ -442,17 +942,31 @@ class ClusterDriver:
             "shard_scheme": self.plan.scheme,
             "start_method": self.start_method,
             "available_parallelism": available_parallelism(),
-            "mean_measured_delay": float(np.mean(epoch_mean_delay)) if epoch_mean_delay else 0.0,
-            "measured_conflict_rate": trace.conflict_rate(),
-            "occupancy_skew": float(np.mean(epoch_occ)) if epoch_occ else 0.0,
+            "mean_measured_delay": (
+                float(np.mean(state.epoch_mean_delay)) if state.epoch_mean_delay else 0.0
+            ),
+            "measured_conflict_rate": state.trace.conflict_rate(),
+            "occupancy_skew": float(np.mean(state.epoch_occ)) if state.epoch_occ else 0.0,
+            "fault_tolerant": self.max_respawns > 0,
+            "respawns": state.respawns,
+            "resumed_from_epoch": state.resumed_from,
+            "work_stealing": (
+                "auto" if self.work_stealing == "auto"
+                else ("on" if self.work_stealing else "off")
+            ),
+            "steal_epochs": state.steal_epochs,
+            "steal_count": int(sum(state.epoch_steals)),
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoints_persisted": state.checkpoints_persisted,
         }
         return ClusterRunResult(
             weights=final,
-            trace=trace,
-            epoch_weights=epoch_weights if keep_epoch_weights else None,
-            epoch_seconds=epoch_seconds,
-            epoch_mean_delay=epoch_mean_delay,
-            epoch_occupancy_skew=epoch_occ,
+            trace=state.trace,
+            epoch_weights=state.epoch_weights if keep_epoch_weights else None,
+            epoch_seconds=state.epoch_seconds,
+            epoch_mean_delay=state.epoch_mean_delay,
+            epoch_occupancy_skew=state.epoch_occ,
+            epoch_steals=state.epoch_steals,
             shard_write_fractions=fractions,
             info=info,
         )
@@ -462,6 +976,7 @@ __all__ = [
     "ClusterDriver",
     "ClusterRunResult",
     "ClusterCostModel",
+    "WorkerFailure",
     "default_start_method",
     "available_parallelism",
     "START_METHOD_ENV_VAR",

@@ -247,6 +247,25 @@ def coloring_shard_plan(
     return ShardPlan(dim=d, shard_of=shard_of, offsets=offsets, flat_of=flat_of, scheme="coloring")
 
 
+def remap_flat(src: ShardPlan, dst: ShardPlan, flat_values: np.ndarray) -> np.ndarray:
+    """Re-map a flat-layout vector from one plan's layout onto another's.
+
+    Both directions of a :class:`ShardPlan`'s layout are pure permutations,
+    so the remap is *bit-identical*: a parameter vector checkpointed under
+    one shard plan carries over exactly onto any other plan of the same
+    dimension — the property that makes dynamic re-sharding on cluster
+    membership changes safe (see :mod:`repro.cluster.checkpoint`).
+    """
+    if src.dim != dst.dim:
+        raise ValueError(
+            f"cannot remap between plans of different dimension ({src.dim} vs {dst.dim})"
+        )
+    values = np.ascontiguousarray(flat_values, dtype=np.float64)
+    if values.shape != (src.dim,):
+        raise ValueError("flat_values must have one entry per coordinate")
+    return dst.flatten_vector(src.unflatten(values))
+
+
 def make_shard_plan(
     scheme: str,
     dim: int,
@@ -272,4 +291,5 @@ __all__ = [
     "coloring_shard_plan",
     "feature_coloring",
     "make_shard_plan",
+    "remap_flat",
 ]

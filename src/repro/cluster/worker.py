@@ -18,6 +18,22 @@ sequence in macro-blocks through the kernel batch primitives:
    the whole block into the sharded parameter buffer (``np.add.at`` over
    shared memory: last-writer-wins per coordinate, the Hogwild semantics).
 
+Since the elasticity work, an epoch's sample sequence is not private to
+its owner: each worker publishes its sequence and a *block queue* into the
+arena at epoch start, claims blocks one at a time under a shared lock, and
+— when the driver arms work-stealing for the epoch — a worker that drains
+its own queue steals tail blocks from the most-loaded peer instead of
+idling at the barrier.  Stolen blocks execute the victim's samples with
+the victim's step weights; the measured counters (and a ``COL_STEALS``
+tally) are credited to the thief.  Every block is claimed exactly once,
+so the epoch's total work is invariant under stealing.
+
+Determinism of the sample stream is seed-table based: the driver derives
+one seed per ``(worker, epoch)`` from its own root seed and passes each
+worker its slice (``task.epoch_seeds``), so a replacement worker spawned
+after a failure — or a resumed run — replays exactly the sequences the
+original fleet would have drawn.
+
 Around the arithmetic the worker measures what the simulator *models*: the
 update lag between its read and its write (the perturbed-iterate delay τ),
 which coordinates were overwritten by other workers in that window
@@ -29,14 +45,17 @@ emits, so measured and simulated traces are directly comparable.
 Rule-specific shared state rides in the arena: SVRG's per-epoch snapshot
 blocks (``mu``, ``snap_margins``, refreshed by the driver between epochs)
 and SAGA's coefficient table + lock-free running average (``saga_coefs``,
-``saga_avg`` — the table rows of a worker's shard are touched by that
-worker only, the average is updated Hogwild-style by everyone).
+``saga_avg``).  SAGA's table rows are owned per *sample shard*, so the
+driver never arms stealing for SAGA runs (a thief would write rows the
+owner assumes private); the task-level ``steal_ok`` flag enforces it on
+the worker side too.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -57,11 +76,45 @@ COL_MAX_DELAY = 5
 COL_DENSE_WRITES = 6
 COL_SAMPLE_DRAWS = 7
 COL_BLOCKS = 8
-NUM_COUNTER_COLS = 9
+COL_STEALS = 9
+NUM_COUNTER_COLS = 10
 
 #: Barrier wait timeout (seconds); a worker crash aborts the barrier long
 #: before this, the timeout only guards against silent hangs.
 BARRIER_TIMEOUT = 300.0
+
+#: Poll interval (seconds) of the generation-barrier wait loops.
+BARRIER_POLL = 0.0005
+
+
+class BarrierAborted(RuntimeError):
+    """The driver aborted the epoch barrier (failure or shutdown)."""
+
+
+def barrier_phase(arrive: np.ndarray, state: np.ndarray, wid: int, gen: int) -> None:
+    """One worker-side crossing of the shared-memory generation barrier.
+
+    ``multiprocessing.Barrier`` is built on shared locks and condition
+    variables; a worker SIGKILLed while parked in (or passing through) one
+    of them corrupts the primitive for every survivor — ``notify`` blocks
+    forever on the dead waiter's wake handshake, and even ``abort`` needs
+    the very mutex the corpse may hold.  A fault-tolerant tier therefore
+    cannot use it.  This barrier keeps every participant on *single-writer*
+    shared-memory words instead: a worker publishes its arrival by writing
+    its own slot of ``arrive`` (one aligned int64 store, nothing a dying
+    process can leave half-taken), then polls the driver-owned release
+    generation in ``state[0]``; ``state[1]`` is the driver's abort flag.
+    Killing any participant at any instruction leaves the others fully
+    functional — detection and recovery stay entirely with the driver.
+    """
+    arrive[wid] = gen
+    deadline = time.monotonic() + BARRIER_TIMEOUT
+    while int(state[0]) < gen:
+        if int(state[1]):
+            raise BarrierAborted("driver aborted the epoch barrier")
+        if time.monotonic() > deadline:
+            raise BarrierAborted("epoch barrier timed out (driver gone?)")
+        time.sleep(BARRIER_POLL)
 
 
 @dataclass
@@ -80,42 +133,49 @@ class WorkerTask:
     probabilities: np.ndarray           # local sampling distribution over rows
     step_weights: np.ndarray            # per-local-sample re-weighting 1/(n_a p_i), clipped
     iterations_per_epoch: int
-    epochs: int
+    epochs: int                         # epochs left to run from start_epoch
     step_size: float
     objective: object                   # repro Objective (picklable)
     rule: str = "sgd"                   # registry name from repro.rules
     skip_dense_term: bool = False
     count_sample_draws: bool = True
     batch_size: int = 256
-    seed: int = 0
+    seed: int = 0                       # fallback seed when epoch_seeds is absent
     kernel_name: Optional[str] = None
     has_flat_of: bool = False
     dim: int = 0
+    start_epoch: int = 0                # global index of the first epoch to run
+    epoch_seeds: Optional[np.ndarray] = None  # int64[epochs], one per epoch
+    steal_ok: bool = True               # rule allows executing stolen blocks
 
 
-def run_worker(task: WorkerTask, barrier) -> None:
+def run_worker(task: WorkerTask, lock=None) -> None:
     """Process entry point: run ``task.epochs`` epochs against the arena.
 
-    The protocol is two barrier waits per epoch: the first releases the
-    epoch (the driver has finished its preparation — e.g. SVRG's µ), the
-    second ends it (the driver may now snapshot weights and read counters).
-    Any exception aborts the barrier so neither side dead-waits.
+    The protocol is two generation-barrier crossings per epoch (see
+    :func:`barrier_phase`): the first releases the epoch (the driver has
+    finished its preparation — e.g. SVRG's µ), the second ends it (the
+    driver snapshots weights and reads counters while everyone is parked).
+    ``lock`` serialises block-queue claims (own-queue pops and steals).
+    On any exception the worker raises its ``errors`` flag — the driver's
+    arrival poll notices — and re-raises, exiting nonzero.
     """
     import threading
 
     from repro.kernels.registry import resolve_backend
 
+    if lock is None:  # single-process callers; claims need no cross-process lock
+        lock = threading.Lock()
     arena = ShmArena.attach(task.arena)
     try:
-        _worker_loop(task, barrier, arena, resolve_backend(task.kernel_name))
-    except threading.BrokenBarrierError:
+        _worker_loop(task, lock, arena, resolve_backend(task.kernel_name))
+    except BarrierAborted:
         pass
     except BaseException:
         try:
             arena["errors"][task.worker_id] = 1
         except Exception:
             pass
-        barrier.abort()
         raise
     finally:
         arena.close()
@@ -149,8 +209,42 @@ def build_task_rule(task: WorkerTask):
     )
 
 
-def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel) -> None:
+def _claim_block(
+    lock, wid: int, tag: int, queue_next, queue_end, seq_epoch, steal_ok: bool
+) -> Optional[Tuple[int, int]]:
+    """Claim the next block: own queue head first, else steal a tail block.
+
+    Returns ``(victim, block_index)`` or ``None`` when no claimable block
+    remains.  Steal victims must have *published* their queue for this
+    epoch (``seq_epoch == tag``) — a replacement fleet resets the tags, so
+    a thief can never execute a stale queue from before a failure.  All
+    bounds are read and advanced under ``lock``: every block is claimed
+    exactly once, by exactly one worker.
+    """
+    with lock:
+        if seq_epoch[wid] == tag and queue_next[wid] < queue_end[wid]:
+            block = int(queue_next[wid])
+            queue_next[wid] += 1
+            return wid, block
+        if not steal_ok:
+            return None
+        victim, best_remaining = -1, 0
+        for peer in range(seq_epoch.size):
+            if peer == wid or seq_epoch[peer] != tag:
+                continue
+            remaining = int(queue_end[peer] - queue_next[peer])
+            if remaining > best_remaining:
+                victim, best_remaining = peer, remaining
+        if victim < 0:
+            return None
+        queue_end[victim] -= 1
+        return victim, int(queue_end[victim])
+
+
+def _worker_loop(task: WorkerTask, lock, arena: ShmArena, kernel) -> None:
     wid = task.worker_id
+    barrier_arrive = arena["barrier_arrive"]
+    barrier_state = arena["barrier_state"]
     w = arena["weights"]                       # flat (sharded) layout, float64[dim]
     X = CSRMatrix(
         data=arena["x_data"],
@@ -168,9 +262,26 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel) -> None:
     write_clock = arena["write_clock"]
     num_shards = shard_writes.shape[1]
 
+    # Block-queue machinery (shared with every peer; see module docstring).
+    sequences = arena["sequences"]
+    seq_epoch = arena["seq_epoch"]
+    queue_next = arena["queue_next"]
+    queue_end = arena["queue_end"]
+    queue_block = arena["queue_block"]
+    queue_iters = arena["queue_iters"]
+    steal_enabled = arena["steal_enabled"]
+    all_rows = arena["all_rows"]
+    all_step_weights = arena["all_step_weights"]
+    row_offsets = arena["row_offsets"]
+
     rule = build_task_rule(task)
-    rng = as_rng(task.seed)
+    if task.epoch_seeds is not None:
+        epoch_seeds = np.asarray(task.epoch_seeds, dtype=np.int64)
+    else:
+        rng = as_rng(task.seed)
+        epoch_seeds = rng.integers(0, 2**31 - 1, size=max(task.epochs, 1), dtype=np.int64)
     block = max(1, int(task.batch_size))
+    n_blocks = -(-task.iterations_per_epoch // block)
     is_svrg = task.rule in ("svrg", "svrg_skip_dense")
     mu_flat = arena["mu"] if is_svrg else None
     snap_margins = arena["snap_margins"] if is_svrg else None
@@ -180,22 +291,45 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel) -> None:
         rule.attach_state(arena["saga_coefs"], arena["saga_avg"], X.n_rows)
     grad_nnz_mult = int(rule.grad_nnz_multiplier)
 
-    for _epoch in range(task.epochs):
-        epoch_seed = int(rng.integers(0, 2**31 - 1))
-        barrier.wait(timeout=BARRIER_TIMEOUT)    # --- epoch start
+    for k in range(task.epochs):
+        tag = task.start_epoch + k
+        barrier_phase(barrier_arrive, barrier_state, wid, 2 * k + 1)  # epoch start
+        steal_ok = (
+            task.steal_ok and task.num_workers > 1 and int(steal_enabled[0]) == 1
+        )
         sequence = SampleSequence.generate(
-            task.probabilities, task.iterations_per_epoch, seed=epoch_seed
+            task.probabilities, task.iterations_per_epoch, seed=int(epoch_seeds[k])
         ).indices
+        sequences[wid, : sequence.size] = sequence
         if is_svrg:
             # Adopt the driver's refreshed snapshot state for this epoch
             # (mu arrives in the flat layout; the rule math is layout-blind).
             rule.set_snapshot(mu_flat.copy(), snap_margins)
 
-        for start in range(0, sequence.size, block):
-            local = sequence[start : start + block]
+        # Publish this worker's block queue; the tag goes last so a peer
+        # that observes it sees fully initialised bounds.
+        with lock:
+            queue_next[wid] = 0
+            queue_end[wid] = n_blocks
+            seq_epoch[wid] = tag
+
+        while True:
+            if int(barrier_state[1]):  # driver aborted (peer died) — stop early
+                raise BarrierAborted("driver aborted the epoch barrier")
+            claim = _claim_block(lock, wid, tag, queue_next, queue_end, seq_epoch, steal_ok)
+            if claim is None:
+                break
+            victim, block_index = claim
+            vblock = int(queue_block[victim])
+            viters = int(queue_iters[victim])
+            start = block_index * vblock
+            local = sequences[victim, start : min(start + vblock, viters)]
             n_iter = int(local.size)
-            rows = task.rows[local]
-            step_w = task.step_weights[local]
+            if n_iter == 0:
+                continue
+            base = int(row_offsets[victim])
+            rows = all_rows[base + local]
+            step_w = all_step_weights[base + local]
 
             # Read side: logical clock before the stale read.
             t_read = int(progress.sum())
@@ -244,6 +378,8 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel) -> None:
             row_c[COL_CONFLICTS] += conflicts
             row_c[COL_DELAY_SUM] += delay * n_iter
             row_c[COL_BLOCKS] += 1
+            if victim != wid:
+                row_c[COL_STEALS] += 1
             if delay > 0:
                 row_c[COL_STALE_READS] += n_iter
                 if delay > row_c[COL_MAX_DELAY]:
@@ -253,12 +389,14 @@ def _worker_loop(task: WorkerTask, barrier, arena: ShmArena, kernel) -> None:
             if task.count_sample_draws:
                 row_c[COL_SAMPLE_DRAWS] += n_iter
 
-        barrier.wait(timeout=BARRIER_TIMEOUT)    # --- epoch end
+        barrier_phase(barrier_arrive, barrier_state, wid, 2 * k + 2)  # epoch end
 
 
 __all__ = [
     "WorkerTask",
     "run_worker",
+    "barrier_phase",
+    "BarrierAborted",
     "build_rule",
     "build_task_rule",
     "NUM_COUNTER_COLS",
@@ -271,5 +409,6 @@ __all__ = [
     "COL_DENSE_WRITES",
     "COL_SAMPLE_DRAWS",
     "COL_BLOCKS",
+    "COL_STEALS",
     "BARRIER_TIMEOUT",
 ]

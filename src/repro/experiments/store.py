@@ -115,6 +115,34 @@ def identity_key(identity: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def atomic_write_json(path: Union[str, Path], payload: Any, *, indent: int = 1) -> Path:
+    """Write ``payload`` as JSON atomically (temp file + :func:`os.replace`).
+
+    The write-then-rename idiom guarantees a reader never observes a
+    half-written file: a process killed mid-write leaves only a dot-prefixed
+    temp file behind, never a corrupt artifact that would poison a later
+    resume.  Shared by the run artifacts below and the cluster tier's
+    checkpoints (:mod:`repro.cluster.checkpoint`).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, sort_keys=True, indent=indent)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.stem[:12]}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def run_key(
     spec: RunSpec,
     *,
@@ -172,26 +200,13 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     def save(self, key: str, record: RunRecord, identity: Optional[Dict[str, Any]] = None) -> Path:
         """Persist ``record`` under ``key`` (atomic: temp file + rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
         entry = {
             "format_version": FORMAT_VERSION,
             "key": key,
             "identity": identity,
             "record": record.to_dict(),
         }
-        payload = json.dumps(entry, sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=f".{key[:12]}.", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, self.path_for(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return self.path_for(key)
+        return atomic_write_json(self.path_for(key), entry)
 
     def load_entry(self, key: str) -> Dict[str, Any]:
         """The full on-disk entry (format, identity and record payload)."""
@@ -247,6 +262,7 @@ __all__ = [
     "FORMAT_VERSION",
     "ASYNC_SOLVERS",
     "ArtifactStore",
+    "atomic_write_json",
     "identity_key",
     "run_identity",
     "run_key",

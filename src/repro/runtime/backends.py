@@ -69,6 +69,10 @@ class BackendCapabilities:
         block primitives (``run_sample_block`` / ``run_frozen_block``) when
         the active backend provides them (the ``native`` kernel), instead
         of iterating per sample in Python.
+    fault_tolerant:
+        Whether the tier survives worker death mid-run: shard-consistent
+        checkpoints at every epoch barrier, automatic fleet replacement
+        and replay from the last checkpoint (see ``docs/cluster.md``).
     supported_rules:
         Registered rule names this backend can execute, or ``None`` for
         "every rule in the live :mod:`repro.rules` registry" — the
@@ -83,6 +87,7 @@ class BackendCapabilities:
     measured_wall_clock: bool
     deterministic: bool
     fused_kernel_loop: bool = False
+    fault_tolerant: bool = False
     supported_rules: Optional[Tuple[str, ...]] = None
 
     def resolved_rules(self) -> List[str]:
@@ -107,6 +112,7 @@ class BackendCapabilities:
             "measured_wall_clock": self.measured_wall_clock,
             "deterministic": self.deterministic,
             "fused_kernel_loop": self.fused_kernel_loop,
+            "fault_tolerant": self.fault_tolerant,
             "rules": self.resolved_rules(),
         }
 
@@ -344,6 +350,7 @@ class ProcessBackend(ExecutionBackend):
         true_parallelism=True,
         measured_wall_clock=True,
         deterministic=False,
+        fault_tolerant=True,
         # Pinned: worker processes rebuild their rule from a fresh
         # interpreter's registry and the driver provisions rule-specific
         # arena state, so runtime-registered custom rules are rejected at

@@ -199,13 +199,37 @@ class _ExplodingObjective(LogisticObjective):
 @pytest.mark.skipif("fork" not in mp.get_all_start_methods(), reason="needs fork")
 class TestWorkerFailure:
     def test_worker_crash_raises_instead_of_hanging(self, cluster_problem):
+        from repro.cluster import WorkerFailure
+
         part = _partition(cluster_problem, workers=2)
         driver = ClusterDriver(
             cluster_problem.X, cluster_problem.y, _ExplodingObjective(), part,
-            step_size=0.1, seed=0, start_method="fork",
+            step_size=0.1, seed=0, start_method="fork", max_respawns=0,
         )
-        with pytest.raises(RuntimeError, match="cluster worker"):
+        with pytest.raises(RuntimeError, match="cluster worker") as excinfo:
             driver.run(1)
+        # The failure names the culprit(s) and the cause, not just "failed".
+        failure = excinfo.value
+        assert isinstance(failure, WorkerFailure)
+        assert failure.python_errors, "worker-side Python crash not attributed"
+        assert "raised a Python exception" in str(failure)
+
+    def test_failure_reports_worker_id_and_exit_code(self, cluster_problem):
+        """A worker killed by signal is reported as 'worker N died with SIG…'."""
+        from repro.cluster import WorkerFailure
+
+        from tests.cluster.faults import PreBarrierKiller
+
+        part = _partition(cluster_problem, workers=2)
+        killer = PreBarrierKiller(victim=1)
+        driver = ClusterDriver(
+            cluster_problem.X, cluster_problem.y, cluster_problem.objective, part,
+            step_size=0.1, seed=0, start_method="fork", max_respawns=0,
+            fault_hook=killer,
+        )
+        with pytest.raises(WorkerFailure, match=r"worker 1 died with SIGKILL"):
+            driver.run(1)
+        assert len(killer.strikes) == 1
 
 
 class TestOccupancyAttribution:

@@ -1,0 +1,224 @@
+"""Acceptance tests of the elastic fault-tolerant cluster.
+
+Headline: a worker SIGKILLed mid-epoch is detected, the fleet is respawned
+from the last epoch-barrier checkpoint, the interrupted epoch replays, and
+the run completes with a final loss within the same progress-relative
+tolerance the non-faulty cluster parity tests use.
+
+The chaos seed and kill point are environment-parametrized
+(``REPRO_CHAOS_SEED``, ``REPRO_CHAOS_KILL_POINT`` as ``"epoch:fraction"``)
+so CI can sweep a small seed x kill-point matrix over the same test body.
+"""
+
+import multiprocessing as mp
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.cluster import CheckpointStore, ClusterDriver, WorkerFailure
+from repro.core.balancing import random_order
+from repro.core.partition import Partition, WorkerShard, partition_dataset
+from repro.datasets.synthetic import SyntheticSpec, make_sparse_classification
+from repro.objectives.logistic import LogisticObjective
+from repro.objectives.regularizers import L2Regularizer
+from repro.solvers.asgd import ASGDSolver
+from repro.solvers.base import Problem
+
+from tests.cluster.faults import FaultInjector, KillPoint, PreBarrierKiller, assert_loss_close
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(), reason="needs fork"
+)
+
+NUM_WORKERS = 4
+EPOCHS = 3
+STEP_SIZE = 0.2
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "5"))
+CHAOS_KILL_POINT = KillPoint.parse(os.environ.get("REPRO_CHAOS_KILL_POINT", "1:0.3"))
+
+
+@pytest.fixture(scope="module")
+def chaos_problem() -> Problem:
+    spec = SyntheticSpec(
+        n_samples=600, n_features=150, nnz_per_sample=8.0, label_noise=0.02, name="chaos_test"
+    )
+    X, y, _ = make_sparse_classification(spec, seed=7)
+    objective = LogisticObjective(regularizer=L2Regularizer(1e-4))
+    return Problem(X=X, y=y, objective=objective, name=spec.name)
+
+
+def _partition(problem, workers=NUM_WORKERS):
+    L = problem.lipschitz_constants()
+    order = random_order(problem.n_samples, seed=0)
+    return partition_dataset(order, L, workers, scheme="uniform")
+
+
+def _driver(problem, part, **kwargs):
+    defaults = dict(step_size=STEP_SIZE, seed=CHAOS_SEED, start_method="fork")
+    defaults.update(kwargs)
+    return ClusterDriver(problem.X, problem.y, problem.objective, part, **defaults)
+
+
+def _must_recover(strike) -> bool:
+    """Whether this strike *must* trigger a respawn.
+
+    A kill that lands after the victim already finished its work and
+    arrived at the final epoch's end barrier completes the run correctly
+    with no recovery — every other strike must be recovered from.
+    """
+    return strike["epoch"] < EPOCHS - 1 or not strike["post_epoch"]
+
+
+def _reference_loss(problem):
+    """Per-sample simulator reference and the losses the tolerance needs."""
+    reference = ASGDSolver(
+        step_size=STEP_SIZE, epochs=EPOCHS, num_workers=NUM_WORKERS, seed=CHAOS_SEED
+    ).fit(problem)
+    obj, X, y = problem.objective, problem.X, problem.y
+    loss_zero = obj.full_loss(np.zeros(problem.n_features), X, y)
+    loss_ref = obj.full_loss(reference.weights, X, y)
+    return loss_ref, loss_zero
+
+
+class TestMidEpochRecovery:
+    def test_sigkill_mid_epoch_recovers_and_converges(self, chaos_problem):
+        """The headline acceptance criterion of the fault-tolerance work."""
+        injector = FaultInjector(kill_point=CHAOS_KILL_POINT)
+        driver = _driver(chaos_problem, _partition(chaos_problem), fault_hook=injector)
+        result = driver.run(EPOCHS)
+
+        assert len(injector.strikes) == 1, "harness failed to strike"
+        if _must_recover(injector.strikes[0]):
+            assert injector.respawns, "no recovery was observed"
+            assert result.info["respawns"] >= 1
+        # The interrupted epoch replayed: the trace is complete.
+        assert len(result.trace.epochs) == EPOCHS
+        assert [e.epoch for e in result.trace.epochs] == list(range(EPOCHS))
+        assert result.trace.total_iterations >= chaos_problem.n_samples
+
+        loss_ref, loss_zero = _reference_loss(chaos_problem)
+        loss_run = chaos_problem.objective.full_loss(
+            result.weights, chaos_problem.X, chaos_problem.y
+        )
+        assert loss_run < loss_zero
+        assert_loss_close(loss_run, loss_ref, loss_zero)
+
+    def test_recovery_with_persistent_store(self, chaos_problem, tmp_path):
+        """Recovery works identically with checkpoints also persisted to disk."""
+        store = CheckpointStore(tmp_path / "ckpts")
+        injector = FaultInjector(kill_point=CHAOS_KILL_POINT)
+        driver = _driver(
+            chaos_problem, _partition(chaos_problem),
+            fault_hook=injector, checkpoint_store=store,
+        )
+        result = driver.run(EPOCHS)
+        assert len(injector.strikes) == 1
+        if _must_recover(injector.strikes[0]):
+            assert result.info["respawns"] >= 1
+        assert result.info["checkpoints_persisted"] >= EPOCHS
+        assert store.epochs(driver.checkpoint_identity()) == list(range(1, EPOCHS + 1))
+
+    def test_sigstop_straggler_eventually_finishes(self, chaos_problem):
+        """A SIGSTOPped worker resumed shortly after does not fail the run."""
+        injector = FaultInjector(
+            kill_point=KillPoint(epoch=1, fraction=0.2),
+            sig=signal.SIGSTOP,
+            resume_after=0.3,
+        )
+        driver = _driver(chaos_problem, _partition(chaos_problem), fault_hook=injector)
+        result = driver.run(EPOCHS)
+        assert len(injector.strikes) == 1
+        # Either the stall was absorbed (resumed before barrier timeout
+        # mattered) with no respawn, or recovery kicked in; both must end
+        # with a complete run.
+        assert len(result.trace.epochs) == EPOCHS
+
+    def test_respawn_budget_exhaustion_raises(self, chaos_problem):
+        """max_respawns=0 turns any worker death into an immediate failure."""
+        injector = FaultInjector(kill_point=KillPoint(epoch=0, fraction=0.1))
+        driver = _driver(
+            chaos_problem, _partition(chaos_problem),
+            fault_hook=injector, max_respawns=0,
+        )
+        with pytest.raises(WorkerFailure, match=r"died with SIGKILL"):
+            driver.run(EPOCHS)
+
+    def test_pre_barrier_death_recovers(self, chaos_problem):
+        """A worker killed before its first barrier is replaced like any other."""
+        killer = PreBarrierKiller(victim=2)
+        driver = _driver(chaos_problem, _partition(chaos_problem), fault_hook=killer)
+        result = driver.run(EPOCHS)
+        assert len(killer.strikes) == 1
+        assert result.info["respawns"] >= 1
+        assert len(result.trace.epochs) == EPOCHS
+
+
+class TestWorkStealing:
+    def _skewed_partition(self, problem):
+        """~90% of the samples on worker 0: the canonical straggler workload."""
+        L = problem.lipschitz_constants()
+        order = random_order(problem.n_samples, seed=0)
+        hot, rest = order[:540], order[540:]
+        chunks = np.array_split(rest, NUM_WORKERS - 1)
+        shards = []
+        for wid, rows in enumerate([hot, *chunks]):
+            rows = np.ascontiguousarray(rows)
+            shards.append(
+                WorkerShard(
+                    worker_id=wid,
+                    row_indices=rows,
+                    lipschitz=L[rows],
+                    probabilities=np.full(rows.size, 1.0 / rows.size),
+                )
+            )
+        return Partition(shards=shards, order=order)
+
+    def test_skewed_partition_triggers_steals(self, chaos_problem):
+        part = self._skewed_partition(chaos_problem)
+        driver = _driver(
+            chaos_problem, part, work_stealing=True, batch_size=16,
+        )
+        result = driver.run(2)
+        assert result.info["steal_epochs"] == 2
+        assert result.info["steal_count"] > 0
+        assert sum(result.epoch_steals) == result.info["steal_count"]
+        # Stealing moves work, never loses or duplicates it.
+        expected = sum(max(1, s.size) for s in part.shards) * 2
+        assert result.trace.total_iterations == expected
+
+    def test_auto_mode_arms_on_skewed_partition(self, chaos_problem):
+        part = self._skewed_partition(chaos_problem)
+        driver = _driver(chaos_problem, part, work_stealing="auto", batch_size=16)
+        result = driver.run(1)
+        assert result.info["work_stealing"] == "auto"
+        assert result.info["steal_epochs"] == 1
+
+    def test_auto_mode_stays_off_for_balanced_partition(self, chaos_problem):
+        part = _partition(chaos_problem)
+        driver = _driver(chaos_problem, part, work_stealing="auto")
+        result = driver.run(1)
+        assert result.info["steal_epochs"] == 0
+        assert result.info["steal_count"] == 0
+
+    def test_stealing_preserves_convergence(self, chaos_problem):
+        part = self._skewed_partition(chaos_problem)
+        driver = _driver(chaos_problem, part, work_stealing=True, batch_size=16)
+        result = driver.run(EPOCHS)
+        loss_ref, loss_zero = _reference_loss(chaos_problem)
+        loss_run = chaos_problem.objective.full_loss(
+            result.weights, chaos_problem.X, chaos_problem.y
+        )
+        assert_loss_close(loss_run, loss_ref, loss_zero)
+
+    def test_saga_never_steals(self, chaos_problem):
+        part = self._skewed_partition(chaos_problem)
+        driver = _driver(
+            chaos_problem, part, rule="saga", step_size=0.05,
+            work_stealing=True, batch_size=16,
+        )
+        result = driver.run(1)
+        assert result.info["steal_epochs"] == 0
+        assert result.info["steal_count"] == 0

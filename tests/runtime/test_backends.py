@@ -48,7 +48,8 @@ class TestRegistry:
         for row in matrix:
             assert set(row) == {
                 "backend", "description", "supports_batching", "true_parallelism",
-                "measured_wall_clock", "deterministic", "fused_kernel_loop", "rules",
+                "measured_wall_clock", "deterministic", "fused_kernel_loop",
+                "fault_tolerant", "rules",
             }
 
     def test_only_batched_advertises_fused_kernel_loop(self):
@@ -60,6 +61,11 @@ class TestRegistry:
         assert backend_capabilities("process").measured_wall_clock
         for name in ("per_sample", "batched", "threads"):
             assert not backend_capabilities(name).measured_wall_clock
+
+    def test_only_process_is_fault_tolerant(self):
+        assert backend_capabilities("process").fault_tolerant
+        for name in ("per_sample", "batched", "threads"):
+            assert not backend_capabilities(name).fault_tolerant
 
     def test_every_builtin_backend_supports_every_rule(self):
         from repro.rules import available_rules

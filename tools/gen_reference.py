@@ -153,8 +153,8 @@ def _async_modes_section() -> list[str]:
              "(`set_default_async_mode`) or via `REPRO_ASYNC_MODE`; the "
              "capability matrix comes from the `repro.runtime` backend "
              "registry (see [runtime.md](runtime.md)).", "",
-             "| name | batching | true parallelism | measured time | deterministic | rules | description |",
-             "| --- | --- | --- | --- | --- | --- | --- |"]
+             "| name | batching | true parallelism | measured time | deterministic | fault tolerant | rules | description |",
+             "| --- | --- | --- | --- | --- | --- | --- | --- |"]
     for row in capability_matrix():
         name = row["backend"]
         marker = " (default)" if name == DEFAULT_ASYNC_MODE else ""
@@ -162,7 +162,8 @@ def _async_modes_section() -> list[str]:
         lines.append(
             f"| `{name}`{marker} | {_flag(row['supports_batching'])} "
             f"| {_flag(row['true_parallelism'])} | {_flag(row['measured_wall_clock'])} "
-            f"| {_flag(row['deterministic'])} | {rules} | {row['description']} |"
+            f"| {_flag(row['deterministic'])} | {_flag(row.get('fault_tolerant', False))} "
+            f"| {rules} | {row['description']} |"
         )
     lines.append("")
     return lines
