@@ -141,6 +141,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_flag(p_bench, default=None)
     p_bench.set_defaults(func=cmd_bench)
 
+    # --------------------------------------------------------------- serve
+    p_serve = sub.add_parser(
+        "serve", help="serve a stored model: micro-batched scoring with hot-swap"
+    )
+    from repro.cli.serve import add_serve_arguments, cmd_serve
+
+    add_serve_arguments(p_serve)
+    _add_store_flag(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
     # ---------------------------------------------------------------- list
     p_list = sub.add_parser("list", help="show registries, or a store's artifacts")
     p_list.add_argument("--json", action="store_true", help="machine-readable output")
@@ -414,6 +424,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     from repro.objectives.registry import available_objectives
     from repro.rules import available_rules, rule_description
     from repro.runtime import capability_matrix
+    from repro.serving import SERVE_DEFAULTS, serving_capabilities
     from repro.solvers.registry import available_solvers
 
     registries = {
@@ -427,10 +438,15 @@ def cmd_list(args: argparse.Namespace) -> int:
     }
     matrix = capability_matrix()
     kernel_status = backend_availability()
+    serving_rows = serving_capabilities()
     if args.json:
         payload = dict(registries)
         payload["kernel_backend_status"] = kernel_status
         payload["backends"] = matrix
+        payload["serving"] = {
+            "defaults": SERVE_DEFAULTS,
+            "objectives": serving_rows,
+        }
         print(json.dumps(payload, indent=2))
         return 0
     for name, values in registries.items():
@@ -465,7 +481,22 @@ def cmd_list(args: argparse.Namespace) -> int:
         for row in matrix
     ]
     print(format_table(rows, title="execution backends (async_mode capability matrix)"))
-    print("\nsee docs/reference.md for kwargs and docs/cli.md for invocations")
+    print("serving:")
+    serving_table = [
+        {
+            "objective": row["objective"],
+            "predict": "yes" if row["predict"] else "-",
+            "decision_function": "yes" if row["decision_function"] else "-",
+            "predict_proba": "yes" if row["predict_proba"] else "-",
+            "kind": "classification" if row["classification"] else "regression",
+        }
+        for row in serving_rows
+    ]
+    print(format_table(
+        serving_table, title="loaded-model capabilities (`python -m repro serve`)"
+    ))
+    print("\nsee docs/reference.md for kwargs, docs/cli.md for invocations "
+          "and docs/serving.md for the serving walkthrough")
     return 0
 
 

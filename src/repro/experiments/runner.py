@@ -97,7 +97,15 @@ def run_single(
         num_workers=spec.num_workers,
         curve=result.curve,
         trace=result.trace,
-        info={**result.info, "measured_train_seconds": timer.elapsed, "step_size": spec.step_size},
+        info={
+            **result.info,
+            "measured_train_seconds": timer.elapsed,
+            "step_size": spec.step_size,
+            # The trained iterate itself: this is what turns a stored
+            # artifact into a servable model (repro.serving loads it into
+            # an immutable ScoringModel).
+            "weights": result.weights,
+        },
     )
     LOGGER.info(
         "run %s: best_error=%.4f final_rmse=%.4f sim_time=%.3fs wall=%.2fs",

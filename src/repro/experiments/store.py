@@ -175,6 +175,15 @@ class ArtifactStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        # mtime-keyed caches: the index (key -> artifact file mtime_ns) is
+        # valid as long as the directory mtime is unchanged — every write
+        # goes through os.replace, which always modifies the directory —
+        # and parsed entries are valid as long as their file mtime matches
+        # the index.  Pollers (the serving hot-swap watcher, `repro report`
+        # re-invocations in one process) therefore stop re-reading every
+        # artifact JSON when nothing changed.
+        self._index_cache: Optional[Tuple[int, Dict[str, int]]] = None
+        self._entry_cache: Dict[str, Tuple[int, Dict[str, Any]]] = {}
 
     # ------------------------------------------------------------------ #
     def path_for(self, key: str) -> Path:
@@ -188,11 +197,38 @@ class ArtifactStore:
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
 
+    def _dir_signature(self) -> Optional[int]:
+        try:
+            return self.root.stat().st_mtime_ns
+        except OSError:
+            return None
+
+    def index(self) -> Dict[str, int]:
+        """``{key: artifact mtime_ns}``, cached until the directory changes.
+
+        Artifacts are only ever created/replaced via :func:`os.replace`
+        into the store directory, and a rename always updates the directory
+        mtime — so an unchanged directory mtime means an unchanged index.
+        The returned mapping is the cache; treat it as read-only.
+        """
+        signature = self._dir_signature()
+        if signature is None:
+            self._index_cache = None
+            return {}
+        if self._index_cache is not None and self._index_cache[0] == signature:
+            return self._index_cache[1]
+        index: Dict[str, int] = {}
+        for path in self.root.glob("*.json"):
+            try:
+                index[path.stem] = path.stat().st_mtime_ns
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+        self._index_cache = (signature, index)
+        return index
+
     def keys(self) -> List[str]:
         """Keys of every stored artifact, sorted for determinism."""
-        if not self.root.is_dir():
-            return []
-        return sorted(p.stem for p in self.root.glob("*.json"))
+        return sorted(self.index())
 
     def __len__(self) -> int:
         return len(self.keys())
@@ -206,10 +242,27 @@ class ArtifactStore:
             "identity": identity,
             "record": record.to_dict(),
         }
-        return atomic_write_json(self.path_for(key), entry)
+        path = atomic_write_json(self.path_for(key), entry)
+        # Drop caches for the written key rather than trusting the directory
+        # mtime alone: on filesystems with coarse timestamp granularity two
+        # writes can land in the same mtime tick.
+        self._index_cache = None
+        self._entry_cache.pop(key, None)
+        return path
 
     def load_entry(self, key: str) -> Dict[str, Any]:
-        """The full on-disk entry (format, identity and record payload)."""
+        """The full on-disk entry (format, identity and record payload).
+
+        Parsed entries are cached per file mtime, so repeated loads of an
+        unchanged artifact (index polling, report re-renders) parse the
+        JSON once.  The returned dict is shared with the cache — treat it
+        as read-only.
+        """
+        mtime = self.index().get(key)
+        if mtime is not None:
+            cached = self._entry_cache.get(key)
+            if cached is not None and cached[0] == mtime:
+                return cached[1]
         path = self.path_for(key)
         try:
             entry = json.loads(path.read_text())
@@ -220,6 +273,8 @@ class ArtifactStore:
             raise ValueError(
                 f"artifact {path} has format_version {version!r}, expected {FORMAT_VERSION}"
             )
+        if mtime is not None:
+            self._entry_cache[key] = (mtime, entry)
         return entry
 
     def load(self, key: str) -> RunRecord:

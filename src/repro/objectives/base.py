@@ -232,6 +232,22 @@ class Objective(ABC):
             return preds
         return np.asarray(margins, dtype=np.float64)
 
+    #: Whether :meth:`proba_from_margins` is meaningful for this objective
+    #: (only losses with a probabilistic interpretation override it).
+    has_probabilities: bool = False
+
+    def proba_from_margins(self, margins: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities from precomputed margins.
+
+        Only objectives whose loss has a probabilistic interpretation
+        (:attr:`has_probabilities`) implement this; the serving layer uses
+        it for ``predict_proba`` and reports a helpful error otherwise.
+        """
+        raise ValueError(
+            f"objective {self.name!r} does not define class probabilities; "
+            "use predict/decision_function instead"
+        )
+
     # ------------------------------------------------------------------ #
     # Vectorised internals (subclasses implement the scalar math too so the
     # per-sample hot path avoids array temporaries)

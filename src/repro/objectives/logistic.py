@@ -81,9 +81,15 @@ class LogisticObjective(Objective):
         """The logistic loss is 1/4-smooth in the margin."""
         return 0.25
 
+    has_probabilities = True
+
+    def proba_from_margins(self, margins: np.ndarray) -> np.ndarray:
+        """Positive-class probability ``sigmoid(<x_i, w>)`` from margins."""
+        return np.asarray(_sigmoid(np.asarray(margins, dtype=np.float64)), dtype=np.float64)
+
     def predict_proba(self, w: np.ndarray, X) -> np.ndarray:
         """Probability of the positive class for each row of ``X``."""
-        return np.asarray(_sigmoid(X.dot(w)), dtype=np.float64)
+        return self.proba_from_margins(X.dot(w))
 
 
 __all__ = ["LogisticObjective"]

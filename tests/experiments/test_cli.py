@@ -249,3 +249,89 @@ class TestReportFlagValidation:
         args = build_parser().parse_args(["bench", "--no-smoke"])
         assert args.smoke is False
         assert build_parser().parse_args(["bench"]).smoke is True
+
+
+class TestServe:
+    def _train(self, capsys, store):
+        code, _, _ = _run(
+            capsys, "run", "--dataset", "news20_smoke", "--solver", "sgd",
+            "--epochs", "2", "--store", store,
+        )
+        assert code == 0
+
+    def test_list_includes_serving_capabilities(self, capsys):
+        code, out, _ = _run(capsys, "list", "--json")
+        assert code == 0
+        serving = json.loads(out)["serving"]
+        assert serving["defaults"]["max_batch"] == 64
+        rows = {row["objective"]: row for row in serving["objectives"]}
+        assert rows["logistic_l1"]["predict_proba"] is True
+        assert rows["hinge"]["predict_proba"] is False
+        assert all(row["predict"] and row["decision_function"]
+                   for row in rows.values())
+
+    def test_list_prints_serving_table(self, capsys):
+        code, out, _ = _run(capsys, "list")
+        assert code == 0
+        assert "loaded-model capabilities" in out
+        assert "predict_proba" in out
+
+    def test_unknown_backend_is_a_helpful_error(self, tmp_path, capsys):
+        code, _, err = _run(
+            capsys, "serve", "--backend", "bogus",
+            "--store", str(tmp_path / "store"),
+        )
+        assert code == 2
+        assert "unknown kernel backend" in err
+        assert "reference" in err  # the availability-annotated listing
+
+    def test_serve_needs_a_target(self, tmp_path, capsys):
+        code, _, err = _run(capsys, "serve", "--store", str(tmp_path / "s"))
+        assert code == 2
+        assert "--key" in err and "--smoke" in err
+
+    def test_missing_artifact_is_a_clean_error(self, tmp_path, capsys):
+        code, _, err = _run(
+            capsys, "serve", "--key", "0" * 64, "--store", str(tmp_path / "s"),
+        )
+        assert code == 2
+        assert "no artifact matching" in err
+
+    def test_stdin_queries_answered_in_order(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        store = str(tmp_path / "store")
+        self._train(capsys, store)
+        lines = (
+            '{"row": 0, "id": "q0"}\n'
+            '{"not": "a query"}\n'
+            '{"indices": [1, 2], "values": [0.25, -0.5]}\n'
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        code, out, err = _run(
+            capsys, "serve", "--dataset", "news20_smoke", "--store", store,
+            "--query-dataset", "news20_smoke", "--no-watch", "--proba",
+        )
+        assert code == 0
+        responses = [json.loads(line) for line in out.splitlines()]
+        assert len(responses) == 3
+        assert responses[0]["id"] == "q0"
+        assert 0.0 <= responses[0]["proba"] <= 1.0
+        assert "error" in responses[1]  # malformed line stays in order
+        assert responses[2]["model_version"] == 1
+        # Provenance + queue stats go to stderr, not into the response stream.
+        assert "model" in err and "stats" in err
+
+    def test_serve_limit_stops_reading(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        store = str(tmp_path / "store")
+        self._train(capsys, store)
+        lines = "".join('{"row": %d}\n' % i for i in range(10))
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        code, out, _ = _run(
+            capsys, "serve", "--dataset", "news20_smoke", "--store", store,
+            "--query-dataset", "news20_smoke", "--no-watch", "--limit", "4",
+        )
+        assert code == 0
+        assert len(out.splitlines()) == 4

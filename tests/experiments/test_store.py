@@ -317,3 +317,90 @@ class TestPooledFailureSalvage:
         resumed = ExperimentRunner(good, store=tmp_path / "store")
         resumed.run()
         assert resumed.stats.as_dict() == {"trained": 0, "reused": 2, "skipped": 0}
+
+
+class TestIndexCache:
+    """The mtime-keyed index/entry caches added for the serving watcher.
+
+    An unchanged store directory must cost one ``stat`` per poll — zero
+    JSON parses — while any write (through this instance or an external
+    one) must invalidate exactly what changed.
+    """
+
+    @staticmethod
+    def _counting_loads(monkeypatch):
+        import repro.experiments.store as store_module
+
+        calls = {"n": 0}
+        real_loads = json.loads
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real_loads(*args, **kwargs)
+
+        monkeypatch.setattr(store_module.json, "loads", counting)
+        return calls
+
+    @staticmethod
+    def _fill(store, trained_record, n, offset=0):
+        keys = [f"{i + offset:064x}" for i in range(n)]
+        for key in keys:
+            store.save(key, trained_record, run_identity(_spec()))
+        return keys
+
+    def test_records_parse_each_artifact_once(self, tmp_path, trained_record, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        self._fill(store, trained_record, 3)
+        calls = self._counting_loads(monkeypatch)
+
+        assert len(store.records()) == 3
+        assert calls["n"] == 3  # cold: one parse per artifact
+        assert len(store.records()) == 3
+        assert calls["n"] == 3  # warm: zero parses
+        store.summary_rows()
+        store.load(store.keys()[0])
+        assert calls["n"] == 3  # every read path shares the entry cache
+
+    def test_save_invalidates_only_the_written_key(self, tmp_path, trained_record, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        keys = self._fill(store, trained_record, 3)
+        store.records()  # warm the cache
+        calls = self._counting_loads(monkeypatch)
+
+        self._fill(store, trained_record, 1, offset=10)  # a brand-new key
+        assert len(store.records()) == 4
+        assert calls["n"] == 1  # only the new artifact is parsed
+
+        store.save(keys[0], trained_record, run_identity(_spec()))  # rewrite
+        assert len(store.records()) == 4
+        assert calls["n"] == 2  # only the rewritten artifact is re-parsed
+
+    def test_external_writer_is_observed(self, tmp_path, trained_record):
+        import time
+
+        reader = ArtifactStore(tmp_path)
+        writer = ArtifactStore(tmp_path)  # a different process, effectively
+        self._fill(writer, trained_record, 1)
+        assert len(reader.keys()) == 1
+
+        time.sleep(0.01)  # a distinct directory mtime tick
+        self._fill(writer, trained_record, 1, offset=1)
+        # The reader never wrote, so only the directory mtime can tell it.
+        assert len(reader.keys()) == 2
+
+    def test_from_store_rides_the_cache(self, tmp_path, trained_record, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        self._fill(store, trained_record, 2)
+        calls = self._counting_loads(monkeypatch)
+
+        assert len(RecordSet.from_store(store).records) == 2
+        assert calls["n"] == 2
+        assert len(RecordSet.from_store(store).records) == 2
+        assert calls["n"] == 2  # second load is parse-free
+
+    def test_index_maps_keys_to_file_mtimes(self, tmp_path, trained_record):
+        store = ArtifactStore(tmp_path)
+        (key,) = self._fill(store, trained_record, 1)
+        index = store.index()
+        assert index == {key: store.path_for(key).stat().st_mtime_ns}
+        assert ArtifactStore(tmp_path / "missing").index() == {}

@@ -58,6 +58,7 @@ SMOKE_EXAMPLES: list[tuple[str, list[str]]] = [
 EXECUTABLE_DOC_PAGES: list[str] = [
     "docs/experiments.md",
     "docs/cli.md",
+    "docs/serving.md",
 ]
 
 #: Markdown inline links: [text](target) — images share the syntax.

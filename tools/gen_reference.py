@@ -39,7 +39,8 @@ Every name below is live registry state: solvers from
 kernel backends from `repro.kernels.registry`, execution backends (async
 modes) and their capability matrix from `repro.runtime`, update rules from
 `repro.rules`, experiment configurations from
-`repro.experiments.configs` and datasets from `repro.datasets.catalog`.
+`repro.experiments.configs`, serving capabilities from `repro.serving`
+and datasets from `repro.datasets.catalog`.
 Pass the names to `python -m repro` (see [cli.md](cli.md)) or to the
 corresponding `make_*` factory.
 """
@@ -203,6 +204,49 @@ def _configs_section() -> list[str]:
     return lines
 
 
+def _serving_section() -> list[str]:
+    import argparse as _argparse
+
+    from repro.cli.serve import add_serve_arguments
+    from repro.serving import SERVE_DEFAULTS, serving_capabilities
+
+    def _flag(value: bool) -> str:
+        return "yes" if value else "-"
+
+    lines = ["## Serving", "",
+             "`python -m repro serve` — load a stored artifact into an "
+             "immutable scoring model behind a micro-batching queue with "
+             "hot-swap on re-train (see [serving.md](serving.md)).", "",
+             "Loaded-model capabilities per objective "
+             "(`predict_proba` needs a probabilistic loss):", "",
+             "| objective | predict | decision_function | predict_proba | kind |",
+             "| --- | --- | --- | --- | --- |"]
+    for row in serving_capabilities():
+        kind = "classification" if row["classification"] else "regression"
+        lines.append(
+            f"| `{row['objective']}` | {_flag(row['predict'])} "
+            f"| {_flag(row['decision_function'])} | {_flag(row['predict_proba'])} "
+            f"| {kind} |"
+        )
+    lines.append("")
+    lines.append(
+        "Defaults: "
+        + ", ".join(f"`{k}={v}`" for k, v in sorted(SERVE_DEFAULTS.items()))
+        + "."
+    )
+    lines.append("")
+    lines.append("| flag | default | description |")
+    lines.append("| --- | --- | --- |")
+    probe = _argparse.ArgumentParser(add_help=False)
+    add_serve_arguments(probe)
+    for action in probe._actions:
+        flag = ", ".join(f"`{o}`" for o in action.option_strings)
+        default = "-" if action.default in (None, False) else f"`{action.default}`"
+        lines.append(f"| {flag} | {default} | {action.help} |")
+    lines.append("")
+    return lines
+
+
 def _datasets_section() -> list[str]:
     from repro.datasets.catalog import get_descriptor, list_datasets
 
@@ -232,6 +276,7 @@ def generate() -> str:
         _async_modes_section(),
         _rules_section(),
         _configs_section(),
+        _serving_section(),
         _datasets_section(),
     ]
     lines: list[str] = []
